@@ -1,0 +1,9 @@
+// Dot product of two arrays at fixed bases.
+func dot(n) {
+  i = 0; acc = 0;
+  while (i < n) {
+    acc = acc + mem[400 + i] * mem[500 + i];
+    i = i + 1;
+  }
+  return acc;
+}

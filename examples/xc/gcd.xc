@@ -1,0 +1,9 @@
+// Greatest common divisor, Euclid's algorithm.
+func gcd(a, b) {
+  while (b != 0) {
+    t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
