@@ -1,0 +1,132 @@
+(* Benchmark harness.
+
+   Usage:
+     bench/main.exe            — regenerate every paper figure/table
+     bench/main.exe e2 e5      — run selected experiments (f7, e1..e7)
+     bench/main.exe micro      — Bechamel micro-benchmarks of the
+                                 simulators, assembler and compiler
+     bench/main.exe all micro  — everything *)
+
+module W = Ximd_workloads
+module C = Ximd_compiler
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+
+let run_variant variant =
+  match W.Workload.run variant with
+  | Ximd_core.Run.Halted _, state -> state.Ximd_core.State.cycle
+  | Ximd_core.Run.Fuel_exhausted _, _ -> failwith "bench workload hung"
+
+let workload_tests () =
+  let open Bechamel in
+  let per_workload (workload : W.Workload.t) =
+    let tests =
+      [ Test.make
+          ~name:(workload.name ^ "/xsim")
+          (Staged.stage (fun () -> ignore (run_variant workload.ximd))) ]
+    in
+    match workload.vliw with
+    | None -> tests
+    | Some vliw ->
+      tests
+      @ [ Test.make
+            ~name:(workload.name ^ "/vsim")
+            (Staged.stage (fun () -> ignore (run_variant vliw))) ]
+  in
+  List.concat_map per_workload (W.Suite.all ())
+
+let infra_tests () =
+  let open Bechamel in
+  let minmax_program = (W.Minmax.make ()).ximd.program in
+  let source = Ximd_asm.Source.to_source minmax_program in
+  let image = Ximd_core.Program.encode minmax_program in
+  let kernel =
+    { C.Ir.name = "bench_kernel";
+      params = [ 0; 1 ];
+      results = [ 5 ];
+      blocks =
+        [ { C.Ir.label = "entry";
+            body =
+              [ C.Ir.Bin (Ximd_isa.Opcode.Iadd, C.Ir.V 0, C.Ir.V 1, 2);
+                C.Ir.Bin (Ximd_isa.Opcode.Imult, C.Ir.V 2, C.Ir.V 0, 3);
+                C.Ir.Bin (Ximd_isa.Opcode.Isub, C.Ir.V 3, C.Ir.V 1, 4);
+                C.Ir.Bin (Ximd_isa.Opcode.Iadd, C.Ir.V 4, C.Ir.V 2, 5) ];
+            term = C.Ir.Return } ] }
+  in
+  [ Test.make ~name:"asm/parse"
+      (Staged.stage (fun () ->
+         match Ximd_asm.Source.parse source with
+         | Ok _ -> ()
+         | Error _ -> failwith "parse failed"));
+    Test.make ~name:"program/encode"
+      (Staged.stage (fun () ->
+         ignore (Ximd_core.Program.encode minmax_program)));
+    Test.make ~name:"program/decode"
+      (Staged.stage (fun () ->
+         match Ximd_core.Program.decode image with
+         | Ok _ -> ()
+         | Error _ -> failwith "decode failed"));
+    Test.make ~name:"compiler/compile-w4"
+      (Staged.stage (fun () ->
+         match C.Codegen.compile ~width:4 kernel with
+         | Ok _ -> ()
+         | Error _ -> failwith "compile failed")) ]
+
+let run_micro () =
+  let open Bechamel in
+  Printf.printf "\n=== micro-benchmarks (ns/run, OLS on monotonic clock) \
+                 ===\n\n%!";
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let grouped =
+    Test.make_grouped ~name:"ximd" (workload_tests () @ infra_tests ())
+  in
+  let raw = Benchmark.all cfg instances grouped in
+  let analysed =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      let estimate =
+        match Analyze.OLS.estimates result with
+        | Some (est :: _) -> est
+        | Some [] | None -> nan
+      in
+      rows := (name, estimate) :: !rows)
+    analysed;
+  List.iter
+    (fun (name, est) -> Printf.printf "%-28s %14.0f ns/run\n%!" name est)
+    (List.sort compare !rows)
+
+(* ------------------------------------------------------------------ *)
+
+let run_experiment id =
+  match
+    List.assoc_opt id
+      (Ximd_report.Experiments.known @ Ximd_report.Ablations.known)
+  with
+  | Some f ->
+    let fmt = Format.std_formatter in
+    Format.pp_open_vbox fmt 0;
+    f fmt;
+    Format.pp_close_box fmt ();
+    Format.pp_print_newline fmt ()
+  | None ->
+    Printf.eprintf "unknown experiment %S (have: %s, micro)\n" id
+      (String.concat ", " (List.map fst Ximd_report.Experiments.known));
+    exit 1
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] ->
+    run_experiment "all";
+    run_experiment "ablations"
+  | args ->
+    List.iter
+      (fun arg -> if arg = "micro" then run_micro () else run_experiment arg)
+      args

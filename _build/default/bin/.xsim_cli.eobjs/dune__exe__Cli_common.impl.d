@@ -1,0 +1,1 @@
+bin/cli_common.ml: Arg Cmdliner Format List Printf Reg String Term Value Ximd_asm Ximd_core Ximd_isa Ximd_machine

@@ -1,0 +1,1 @@
+bin/vsim_cli.ml: Cli_common Cmd Cmdliner Manpage Term

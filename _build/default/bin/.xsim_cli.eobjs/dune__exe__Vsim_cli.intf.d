@@ -1,0 +1,1 @@
+bin/vsim_cli.mli:

@@ -1,0 +1,1 @@
+bin/xasm_cli.ml: Arg Bytes Cmd Cmdliner Format In_channel Out_channel Printf Term Ximd_asm Ximd_core

@@ -1,0 +1,1 @@
+bin/xasm_cli.mli:

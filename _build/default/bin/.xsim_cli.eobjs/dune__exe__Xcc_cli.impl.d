@@ -1,0 +1,1 @@
+bin/xcc_cli.ml: Arg Cmd Cmdliner Format In_channel List Printf String Term Value Ximd_asm Ximd_compiler Ximd_core Ximd_isa Ximd_machine

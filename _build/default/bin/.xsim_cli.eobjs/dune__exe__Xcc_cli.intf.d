@@ -1,0 +1,1 @@
+bin/xcc_cli.mli:

@@ -1,0 +1,1 @@
+bin/xsim_cli.ml: Arg Cli_common Cmd Cmdliner Manpage Term

@@ -1,0 +1,1 @@
+bin/xsim_cli.mli:

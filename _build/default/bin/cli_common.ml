@@ -1,0 +1,172 @@
+(* Shared plumbing for the xsim/vsim command-line simulators. *)
+
+open Cmdliner
+open Ximd_isa
+
+let program_of_file path =
+  match Ximd_asm.Source.parse_file path with
+  | Ok program -> Ok program
+  | Error e ->
+    Error (Format.asprintf "%s: %a" path Ximd_asm.Source.pp_error e)
+
+(* "r3=42" *)
+let parse_reg_init s =
+  match String.split_on_char '=' s with
+  | [ reg; v ] -> (
+    match (Reg.of_string reg, int_of_string_opt v) with
+    | Some r, Some v -> Ok (r, Value.of_int v)
+    | _ -> Error (`Msg ("bad register initialiser " ^ s)))
+  | _ -> Error (`Msg ("bad register initialiser " ^ s))
+
+(* "256=7" *)
+let parse_mem_init s =
+  match String.split_on_char '=' s with
+  | [ addr; v ] -> (
+    match (int_of_string_opt addr, int_of_string_opt v) with
+    | Some a, Some v -> Ok (a, Value.of_int v)
+    | _ -> Error (`Msg ("bad memory initialiser " ^ s)))
+  | _ -> Error (`Msg ("bad memory initialiser " ^ s))
+
+let reg_init_conv =
+  Arg.conv
+    ( parse_reg_init,
+      fun fmt (r, v) -> Format.fprintf fmt "%a=%a" Reg.pp r Value.pp v )
+
+let mem_init_conv =
+  Arg.conv
+    ( parse_mem_init,
+      fun fmt (a, v) -> Format.fprintf fmt "%d=%a" a Value.pp v )
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"XIMD assembly source file.")
+
+let trace_flag =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Print a Figure-10 style \
+                                             address trace.")
+
+let listing_flag =
+  Arg.(value & flag & info [ "listing" ] ~doc:"Print the program listing \
+                                               before running.")
+
+let stats_flag =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print execution statistics.")
+
+let max_cycles_arg =
+  Arg.(
+    value & opt int 1_000_000
+    & info [ "max-cycles" ] ~docv:"N" ~doc:"Cycle fuel before giving up.")
+
+let record_hazards_flag =
+  Arg.(
+    value & flag
+    & info [ "record-hazards" ]
+        ~doc:"Log hazards and continue instead of stopping at the first.")
+
+let reg_inits_arg =
+  Arg.(
+    value & opt_all reg_init_conv []
+    & info [ "r"; "reg" ] ~docv:"rN=V" ~doc:"Initialise a register.")
+
+let mem_inits_arg =
+  Arg.(
+    value & opt_all mem_init_conv []
+    & info [ "m"; "mem" ] ~docv:"ADDR=V" ~doc:"Initialise a memory word.")
+
+let dump_regs_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "dump-regs" ] ~docv:"r1,r2,.."
+        ~doc:"Print these registers after the run.")
+
+let dump_mem_arg =
+  Arg.(
+    value & opt (some (pair ~sep:':' int int)) None
+    & info [ "dump-mem" ] ~docv:"ADDR:LEN"
+        ~doc:"Print LEN memory words starting at ADDR after the run.")
+
+type simulator = Xsim | Vsim | T500
+
+let run_simulator sim path trace listing stats max_cycles record_hazards
+    reg_inits mem_inits dump_regs dump_mem =
+  match program_of_file path with
+  | Error msg ->
+    Printf.eprintf "%s\n" msg;
+    exit 1
+  | Ok program ->
+    let config =
+      Ximd_core.Config.make
+        ~n_fus:(Ximd_core.Program.n_fus program)
+        ~max_cycles
+        ~hazard_policy:
+          (if record_hazards then Ximd_machine.Hazard.Record
+           else Ximd_machine.Hazard.Raise)
+        ()
+    in
+    if listing then
+      Format.printf "%a@." Ximd_core.Program.pp_listing program;
+    let state =
+      try Ximd_core.State.create ~config program
+      with Invalid_argument msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1
+    in
+    List.iter
+      (fun (r, v) -> Ximd_machine.Regfile.set state.regs r v)
+      reg_inits;
+    List.iter (fun (a, v) -> Ximd_core.State.mem_set state a v) mem_inits;
+    let tracer = if trace then Some (Ximd_core.Tracer.create ()) else None in
+    let outcome =
+      try
+        match sim with
+        | Xsim -> Ximd_core.Xsim.run ?tracer state
+        | Vsim -> Ximd_core.Vsim.run ?tracer state
+        | T500 -> Ximd_core.T500.run ?tracer state
+      with
+      | Ximd_machine.Hazard.Error event ->
+        Printf.eprintf "hazard: %s\n"
+          (Format.asprintf "%a" Ximd_machine.Hazard.pp_event event);
+        exit 2
+      | Invalid_argument msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1
+    in
+    (match tracer with
+     | Some t -> Format.printf "%a@." (Ximd_core.Tracer.pp_figure10 ?comments:None) t
+     | None -> ());
+    Format.printf "%a@." Ximd_core.Run.pp outcome;
+    (match dump_regs with
+     | None -> ()
+     | Some spec ->
+       String.split_on_char ',' spec
+       |> List.iter (fun name ->
+            match Reg.of_string (String.trim name) with
+            | Some r ->
+              Format.printf "%a = %a@." Reg.pp r Value.pp
+                (Ximd_machine.Regfile.read state.regs r)
+            | None -> Printf.eprintf "bad register %s\n" name));
+    (match dump_mem with
+     | None -> ()
+     | Some (addr, len) ->
+       for a = addr to addr + len - 1 do
+         Format.printf "M[%d] = %a@." a Value.pp
+           (Ximd_core.State.mem_get state a)
+       done);
+    if stats then Format.printf "%a@." Ximd_core.Stats.pp state.stats;
+    let hazards = Ximd_core.State.hazards state in
+    if hazards <> [] then begin
+      Format.printf "%d hazards recorded:@." (List.length hazards);
+      List.iter
+        (fun e -> Format.printf "  %a@." Ximd_machine.Hazard.pp_event e)
+        hazards
+    end;
+    if not (Ximd_core.Run.completed outcome) then exit 3
+
+let simulator_term sim_term =
+  Term.(
+    const run_simulator
+    $ sim_term $ file_arg $ trace_flag $ listing_flag $ stats_flag
+    $ max_cycles_arg $ record_hazards_flag $ reg_inits_arg $ mem_inits_arg
+    $ dump_regs_arg $ dump_mem_arg)

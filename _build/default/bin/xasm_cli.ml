@@ -1,0 +1,68 @@
+(* xasm — assembler / disassembler for XIMD programs. *)
+
+open Cmdliner
+
+let assemble input output listing =
+  match Ximd_asm.Source.parse_file input with
+  | Error e ->
+    Printf.eprintf "%s: %s\n" input
+      (Format.asprintf "%a" Ximd_asm.Source.pp_error e);
+    exit 1
+  | Ok program ->
+    if listing then
+      Format.printf "%a@." Ximd_core.Program.pp_listing program;
+    (match output with
+     | None -> ()
+     | Some path ->
+       let image = Ximd_core.Program.encode program in
+       Out_channel.with_open_bin path (fun oc ->
+         Out_channel.output_bytes oc image);
+       Printf.printf "wrote %d bytes (%d rows x %d FUs, 192-bit parcels)\n"
+         (Bytes.length image)
+         (Ximd_core.Program.length program)
+         (Ximd_core.Program.n_fus program))
+
+let disassemble input =
+  let image =
+    In_channel.with_open_bin input (fun ic ->
+      Bytes.of_string (In_channel.input_all ic))
+  in
+  match Ximd_core.Program.decode image with
+  | Error msg ->
+    Printf.eprintf "%s: %s\n" input msg;
+    exit 1
+  | Ok program -> print_string (Ximd_asm.Source.to_source program)
+
+let input_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Input file (.xasm source or binary image).")
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"IMAGE"
+        ~doc:"Write the bit-level program image here.")
+
+let listing_flag =
+  Arg.(value & flag & info [ "listing" ] ~doc:"Print the program listing.")
+
+let disassemble_flag =
+  Arg.(
+    value & flag
+    & info [ "d"; "disassemble" ]
+        ~doc:"Treat FILE as a binary image and print source.")
+
+let run input output listing dis =
+  if dis then disassemble input else assemble input output listing
+
+let cmd =
+  let doc = "XIMD assembler and disassembler" in
+  Cmd.v
+    (Cmd.info "xasm" ~doc)
+    Term.(const run $ input_arg $ output_arg $ listing_flag
+          $ disassemble_flag)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,96 @@
+(* xcc — compile the mini source language to XIMD code and optionally
+   run it. *)
+
+open Cmdliner
+open Ximd_isa
+module C = Ximd_compiler
+
+let compile_and_go path width emit_asm run_args listing trace =
+  let source = In_channel.with_open_text path In_channel.input_all in
+  match C.Lang.compile ~width source with
+  | Error errors ->
+    List.iter (Printf.eprintf "%s\n") errors;
+    exit 1
+  | Ok compiled ->
+    if listing then
+      Format.printf "%a@." Ximd_core.Program.pp_listing compiled.program;
+    if emit_asm then
+      print_string (Ximd_asm.Source.to_source compiled.program);
+    (match run_args with
+     | None -> ()
+     | Some args ->
+       let args =
+         if String.trim args = "" then []
+         else
+           String.split_on_char ',' args
+           |> List.map (fun s ->
+                match int_of_string_opt (String.trim s) with
+                | Some v -> v
+                | None ->
+                  Printf.eprintf "bad argument %S\n" s;
+                  exit 1)
+       in
+       if List.length args <> List.length compiled.param_regs then begin
+         Printf.eprintf "expected %d arguments, got %d\n"
+           (List.length compiled.param_regs)
+           (List.length args);
+         exit 1
+       end;
+       let config = Ximd_core.Config.make ~n_fus:width () in
+       let state = Ximd_core.State.create ~config compiled.program in
+       List.iter2
+         (fun (_, reg) v ->
+           Ximd_machine.Regfile.set state.regs reg (Value.of_int v))
+         compiled.param_regs args;
+       let tracer =
+         if trace then Some (Ximd_core.Tracer.create ()) else None
+       in
+       let outcome = Ximd_core.Xsim.run ?tracer state in
+       (match tracer with
+        | Some t ->
+          Format.printf "%a@." (Ximd_core.Tracer.pp_figure10 ?comments:None) t
+        | None -> ());
+       Format.printf "%a@." Ximd_core.Run.pp outcome;
+       List.iteri
+         (fun i (_, reg) ->
+           Format.printf "result %d = %a@." i Value.pp
+             (Ximd_machine.Regfile.read state.regs reg))
+         compiled.result_regs)
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Source file (mini language, see \
+                                 lib/compiler/lang.mli).")
+
+let width_arg =
+  Arg.(value & opt int 4 & info [ "width" ] ~docv:"N"
+         ~doc:"Functional units to compile for.")
+
+let emit_asm_flag =
+  Arg.(value & flag & info [ "emit-asm" ] ~doc:"Print XIMD assembly.")
+
+let run_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "run" ] ~docv:"ARGS"
+        ~doc:"Run with the comma-separated integer arguments.")
+
+let listing_flag =
+  Arg.(value & flag & info [ "listing" ] ~doc:"Print the program listing.")
+
+let trace_flag =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Print an address trace when \
+                                             running.")
+
+let cmd =
+  let doc = "compiler driver for the XIMD mini language" in
+  Cmd.v
+    (Cmd.info "xcc" ~doc)
+    Term.(
+      const compile_and_go $ file_arg $ width_arg $ emit_asm_flag $ run_arg
+      $ listing_flag $ trace_flag)
+
+let () = exit (Cmd.eval cmd)

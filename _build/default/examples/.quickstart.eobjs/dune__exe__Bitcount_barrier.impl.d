@@ -1,0 +1,1 @@
+examples/bitcount_barrier.ml: Array Format Int32 Ximd_core Ximd_report Ximd_workloads

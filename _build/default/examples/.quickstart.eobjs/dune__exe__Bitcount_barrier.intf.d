@@ -1,0 +1,1 @@
+examples/bitcount_barrier.mli:

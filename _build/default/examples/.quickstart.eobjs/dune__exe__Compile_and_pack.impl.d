@@ -1,0 +1,1 @@
+examples/compile_and_pack.ml: Format List Opcode String Value Ximd_compiler Ximd_core Ximd_isa Ximd_machine Ximd_report

@@ -1,0 +1,1 @@
+examples/io_sync.ml: Format List Ximd_report Ximd_workloads

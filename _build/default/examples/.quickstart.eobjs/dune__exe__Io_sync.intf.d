@@ -1,0 +1,1 @@
+examples/io_sync.mli:

@@ -1,0 +1,1 @@
+examples/minmax_trace.ml: Array Format List String Ximd_report Ximd_workloads

@@ -1,0 +1,1 @@
+examples/minmax_trace.mli:

@@ -1,0 +1,1 @@
+examples/multi_thread_app.ml: Format List String Value Ximd_compiler Ximd_core Ximd_isa

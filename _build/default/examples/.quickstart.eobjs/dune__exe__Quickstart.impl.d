@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Sync Value Ximd_asm Ximd_core Ximd_isa Ximd_machine

@@ -1,0 +1,1 @@
+lib/asm/builder.ml: Array Cond Control Hashtbl List Opcode Operand Parcel Printf Reg String Sync Ximd_core Ximd_isa

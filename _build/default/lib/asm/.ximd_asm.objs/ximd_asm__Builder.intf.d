@@ -1,0 +1,1 @@
+lib/asm/builder.mli: Opcode Operand Parcel Reg Sync Ximd_core Ximd_isa

@@ -1,0 +1,1 @@
+lib/asm/source.ml: Array Buffer Cond Control Format In_channel List Opcode Operand Parcel Printf Reg String Sync Value Ximd_core Ximd_isa

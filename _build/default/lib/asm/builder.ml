@@ -1,0 +1,192 @@
+open Ximd_isa
+
+type target =
+  | Lbl of string
+  | Abs of int
+  | Next
+  | Self
+
+type ctl =
+  | Goto of target
+  | Goto2 of target
+  | If of Cond.t * target * target
+  | Fallthrough
+  | Chalt
+
+type spec = {
+  data : Parcel.data;
+  ctl : ctl option;
+  sync : Sync.t option;
+}
+
+type pending_row = {
+  addr : int;
+  specs : spec array;  (* length n_fus, fully padded *)
+}
+
+type t = {
+  n_fus : int;
+  mutable rows : pending_row list;  (* reverse order *)
+  mutable n_rows : int;
+  mutable labels : (string * int) list;
+  mutable pending_labels : string list;
+  regs : (string, Reg.t) Hashtbl.t;
+  mutable next_reg : int;
+}
+
+let create ~n_fus =
+  if n_fus < 1 || n_fus > 16 then invalid_arg "Builder.create: bad n_fus";
+  { n_fus; rows = []; n_rows = 0; labels = []; pending_labels = [];
+    regs = Hashtbl.create 17; next_reg = 0 }
+
+let reg t name =
+  match Hashtbl.find_opt t.regs name with
+  | Some r -> r
+  | None ->
+    if t.next_reg >= Reg.count then
+      invalid_arg "Builder.reg: out of registers";
+    let r = Reg.make t.next_reg in
+    t.next_reg <- t.next_reg + 1;
+    Hashtbl.add t.regs name r;
+    r
+
+let reg_op t name = Operand.Reg (reg t name)
+let imm = Operand.imm
+let immf = Operand.imm_f
+let rop r = Operand.Reg r
+
+let lbl name = Lbl name
+let abs a = Abs a
+let next = Next
+let self = Self
+
+let goto target = Goto target
+let goto2 target = Goto2 target
+let if_cc j t1 t2 = If (Cond.Cc j, t1, t2)
+let if_ss j t1 t2 = If (Cond.Ss j, t1, t2)
+
+let mask_of t = function
+  | None -> Cond.full_mask t.n_fus
+  | Some fus -> Cond.mask_of_list fus
+
+let if_all_ss ?fus t t1 t2 = If (Cond.All_ss (mask_of t fus), t1, t2)
+let if_any_ss ?fus t t1 t2 = If (Cond.Any_ss (mask_of t fus), t1, t2)
+let fallthrough = Fallthrough
+let halt = Chalt
+
+let nop = Parcel.Dnop
+let bin op a b d = Parcel.Dbin { op; a; b; d }
+let iadd a b d = bin Opcode.Iadd a b d
+let isub a b d = bin Opcode.Isub a b d
+let imult a b d = bin Opcode.Imult a b d
+let idiv a b d = bin Opcode.Idiv a b d
+let and_ a b d = bin Opcode.And a b d
+let or_ a b d = bin Opcode.Or a b d
+let xor a b d = bin Opcode.Xor a b d
+let shl a b d = bin Opcode.Shl a b d
+let shr a b d = bin Opcode.Shr a b d
+let fadd a b d = bin Opcode.Fadd a b d
+let fsub a b d = bin Opcode.Fsub a b d
+let fmult a b d = bin Opcode.Fmult a b d
+let fdiv a b d = bin Opcode.Fdiv a b d
+let un op a d = Parcel.Dun { op; a; d }
+let mov a d = un Opcode.Mov a d
+let cmp op a b = Parcel.Dcmp { op; a; b }
+let eq a b = cmp Opcode.Eq a b
+let ne a b = cmp Opcode.Ne a b
+let lt a b = cmp Opcode.Lt a b
+let le a b = cmp Opcode.Le a b
+let gt a b = cmp Opcode.Gt a b
+let ge a b = cmp Opcode.Ge a b
+let load a b d = Parcel.Dload { a; b; d }
+let store a b = Parcel.Dstore { a; b }
+let in_ port d = Parcel.Din { port; d }
+let out a port = Parcel.Dout { a; port }
+
+let d data = { data; ctl = None; sync = None }
+let sp ?ctl ?sync data = { data; ctl; sync }
+
+let label t name =
+  if List.mem_assoc name t.labels || List.mem name t.pending_labels then
+    invalid_arg (Printf.sprintf "Builder.label: duplicate label %s" name);
+  t.pending_labels <- name :: t.pending_labels
+
+let here t = t.n_rows
+
+let row t ?ctl ?(sync = Sync.Busy) specs =
+  if List.length specs > t.n_fus then
+    invalid_arg "Builder.row: more specs than FUs";
+  let addr = t.n_rows in
+  let default_ctl = match ctl with Some c -> c | None -> Goto Next in
+  let filled =
+    Array.init t.n_fus (fun i ->
+      match List.nth_opt specs i with
+      | Some s ->
+        { data = s.data;
+          ctl = Some (match s.ctl with Some c -> c | None -> default_ctl);
+          sync = Some (match s.sync with Some x -> x | None -> sync) }
+      | None -> { data = nop; ctl = Some default_ctl; sync = Some sync })
+  in
+  List.iter
+    (fun name -> t.labels <- (name, addr) :: t.labels)
+    t.pending_labels;
+  t.pending_labels <- [];
+  t.rows <- { addr; specs = filled } :: t.rows;
+  t.n_rows <- t.n_rows + 1
+
+let halt_row t = row t ~ctl:Chalt []
+
+let pad_to t addr =
+  if addr < t.n_rows then
+    invalid_arg
+      (Printf.sprintf "Builder.pad_to: address %d already passed (at %d)" addr
+         t.n_rows);
+  if t.pending_labels <> [] then
+    invalid_arg "Builder.pad_to: pending labels would land on filler";
+  while t.n_rows < addr do
+    row t ~ctl:(Goto Self) []
+  done
+
+let build t =
+  if t.pending_labels <> [] then
+    invalid_arg
+      ("Builder.build: labels with no row: "
+      ^ String.concat ", " t.pending_labels);
+  if t.n_rows = 0 then invalid_arg "Builder.build: no rows";
+  let resolve_target ~addr = function
+    | Abs a -> a
+    | Next ->
+      if addr + 1 >= t.n_rows then
+        invalid_arg
+          (Printf.sprintf
+             "Builder.build: row %d falls through the end of the program"
+             addr)
+      else addr + 1
+    | Self -> addr
+    | Lbl name -> (
+      match List.assoc_opt name t.labels with
+      | Some a -> a
+      | None ->
+        invalid_arg (Printf.sprintf "Builder.build: undefined label %s" name))
+  in
+  let resolve_ctl ~addr = function
+    | Chalt -> Control.Halt
+    | Fallthrough -> Control.next
+    | Goto target -> Control.goto (resolve_target ~addr target)
+    | Goto2 target -> Control.goto2 (resolve_target ~addr target)
+    | If (cond, t1, t2) ->
+      Control.br cond (resolve_target ~addr t1) (resolve_target ~addr t2)
+  in
+  let rows =
+    List.rev_map
+      (fun { addr; specs } ->
+        Array.map
+          (fun s ->
+            let ctl = match s.ctl with Some c -> c | None -> Goto Next in
+            let sync = match s.sync with Some x -> x | None -> Sync.Busy in
+            Parcel.make ~sync s.data (resolve_ctl ~addr ctl))
+          specs)
+      t.rows
+  in
+  Ximd_core.Program.make ~symbols:(List.rev t.labels) ~n_fus:t.n_fus
+    (Array.of_list rows)

@@ -1,0 +1,133 @@
+(** Programmatic assembly.
+
+    A row-oriented builder for XIMD programs with symbolic labels,
+    named-register allocation and forward references.  This is the
+    notation used by the workload suite; the listings in the paper
+    translate almost line-for-line.
+
+    Conventions:
+    - Rows are emitted in order; the default control operation is an
+      unconditional branch to the next row (the research model has no PC
+      incrementer, so "sequential" code is encoded explicitly).
+    - A row may give one control operation for every parcel (the VLIW
+      coding convention) via [row ~ctl], or per-parcel controls via
+      {!sp}.
+    - Missing columns are padded with [nop] parcels carrying the row
+      control. *)
+
+open Ximd_isa
+
+type t
+
+val create : n_fus:int -> t
+
+(** {1 Registers and operands} *)
+
+val reg : t -> string -> Reg.t
+(** Named register, allocated sequentially on first use.  A name maps to
+    the same register for the lifetime of the builder. *)
+
+val reg_op : t -> string -> Operand.t
+(** The named register as a source operand. *)
+
+val imm : int -> Operand.t
+val immf : float -> Operand.t
+val rop : Reg.t -> Operand.t
+
+(** {1 Branch targets and control operations} *)
+
+type target
+
+val lbl : string -> target
+(** A (possibly forward) label reference. *)
+
+val abs : int -> target
+val next : target
+(** The row after the one being emitted. *)
+
+val self : target
+(** The row being emitted (busy-wait loops). *)
+
+type ctl
+
+val goto : target -> ctl
+val goto2 : target -> ctl
+val if_cc : int -> target -> target -> ctl
+val if_ss : int -> target -> target -> ctl
+
+val if_all_ss : ?fus:int list -> t -> target -> target -> ctl
+(** Branch on [∏ (SS_i == DONE)] over [fus] (default: all FUs). *)
+
+val if_any_ss : ?fus:int list -> t -> target -> target -> ctl
+val fallthrough : ctl
+(** Prototype-sequencer fall-through (PC + 1). *)
+
+val halt : ctl
+
+(** {1 Data operations} *)
+
+val nop : Parcel.data
+val bin : Opcode.binop -> Operand.t -> Operand.t -> Reg.t -> Parcel.data
+val iadd : Operand.t -> Operand.t -> Reg.t -> Parcel.data
+val isub : Operand.t -> Operand.t -> Reg.t -> Parcel.data
+val imult : Operand.t -> Operand.t -> Reg.t -> Parcel.data
+val idiv : Operand.t -> Operand.t -> Reg.t -> Parcel.data
+val and_ : Operand.t -> Operand.t -> Reg.t -> Parcel.data
+val or_ : Operand.t -> Operand.t -> Reg.t -> Parcel.data
+val xor : Operand.t -> Operand.t -> Reg.t -> Parcel.data
+val shl : Operand.t -> Operand.t -> Reg.t -> Parcel.data
+val shr : Operand.t -> Operand.t -> Reg.t -> Parcel.data
+val fadd : Operand.t -> Operand.t -> Reg.t -> Parcel.data
+val fsub : Operand.t -> Operand.t -> Reg.t -> Parcel.data
+val fmult : Operand.t -> Operand.t -> Reg.t -> Parcel.data
+val fdiv : Operand.t -> Operand.t -> Reg.t -> Parcel.data
+val mov : Operand.t -> Reg.t -> Parcel.data
+val un : Opcode.unop -> Operand.t -> Reg.t -> Parcel.data
+val cmp : Opcode.cmpop -> Operand.t -> Operand.t -> Parcel.data
+val eq : Operand.t -> Operand.t -> Parcel.data
+val ne : Operand.t -> Operand.t -> Parcel.data
+val lt : Operand.t -> Operand.t -> Parcel.data
+val le : Operand.t -> Operand.t -> Parcel.data
+val gt : Operand.t -> Operand.t -> Parcel.data
+val ge : Operand.t -> Operand.t -> Parcel.data
+val load : Operand.t -> Operand.t -> Reg.t -> Parcel.data
+val store : Operand.t -> Operand.t -> Parcel.data
+val in_ : Operand.t -> Reg.t -> Parcel.data
+val out : Operand.t -> Operand.t -> Parcel.data
+
+(** {1 Parcels and rows} *)
+
+type spec
+
+val d : Parcel.data -> spec
+(** A parcel taking the row's control and sync. *)
+
+val sp : ?ctl:ctl -> ?sync:Sync.t -> Parcel.data -> spec
+(** A parcel with its own control and/or sync signal. *)
+
+val label : t -> string -> unit
+(** Attach a label to the next row emitted.
+    @raise Invalid_argument on duplicate labels. *)
+
+val row : t -> ?ctl:ctl -> ?sync:Sync.t -> spec list -> unit
+(** Emit one instruction row.  [ctl] (default: branch to next row) and
+    [sync] (default BUSY) apply to every spec that does not override
+    them; the list is padded to [n_fus] with [nop] parcels.
+    @raise Invalid_argument if the list is longer than [n_fus]. *)
+
+val halt_row : t -> unit
+(** Emit a row halting every FU. *)
+
+val pad_to : t -> int -> unit
+(** Emit unreachable filler rows (nop, self-loop) until the next row
+    lands at the given address.  Used to reproduce the paper's listings
+    address-for-address (e.g. MINMAX occupies 00:–05: and 08:–0a:).
+    @raise Invalid_argument if the address is already passed. *)
+
+val here : t -> int
+(** Address of the next row to be emitted. *)
+
+val build : t -> Ximd_core.Program.t
+(** Resolve labels and produce the program.
+    @raise Invalid_argument on undefined labels, or if the last row's
+    control falls through the end via [next]. *)

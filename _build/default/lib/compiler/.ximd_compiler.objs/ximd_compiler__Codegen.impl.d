@@ -1,0 +1,1 @@
+lib/compiler/codegen.ml: Array Ir List Listsched Operand Parcel Reg Regalloc Value Ximd_asm Ximd_core Ximd_isa

@@ -1,0 +1,1 @@
+lib/compiler/codegen.mli: Ir Parcel Reg Ximd_asm Ximd_core Ximd_isa

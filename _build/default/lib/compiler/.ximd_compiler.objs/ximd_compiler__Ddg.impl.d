@@ -1,0 +1,1 @@
+lib/compiler/ddg.ml: Array Format Ir List

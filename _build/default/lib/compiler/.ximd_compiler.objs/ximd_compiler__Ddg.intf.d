@@ -1,0 +1,1 @@
+lib/compiler/ddg.mli: Format Ir

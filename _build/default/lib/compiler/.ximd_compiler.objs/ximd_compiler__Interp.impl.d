@@ -1,0 +1,1 @@
+lib/compiler/interp.ml: Hashtbl Int32 Ir List String Value Ximd_isa Ximd_machine

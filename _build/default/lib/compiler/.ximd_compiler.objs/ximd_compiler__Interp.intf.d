@@ -1,0 +1,1 @@
+lib/compiler/interp.mli: Hashtbl Ir Value Ximd_isa

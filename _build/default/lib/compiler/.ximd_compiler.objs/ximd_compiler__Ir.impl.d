@@ -1,0 +1,1 @@
+lib/compiler/ir.ml: Format List Printf String Ximd_isa

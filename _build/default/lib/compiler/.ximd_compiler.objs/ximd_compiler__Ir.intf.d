@@ -1,0 +1,1 @@
+lib/compiler/ir.mli: Format Ximd_isa

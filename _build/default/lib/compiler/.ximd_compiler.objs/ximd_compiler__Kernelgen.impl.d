@@ -1,0 +1,1 @@
+lib/compiler/kernelgen.ml: Array Fun Ir List Opcode Operand Parcel Pipeliner Printf Reg Value Ximd_asm Ximd_core Ximd_isa

@@ -1,0 +1,1 @@
+lib/compiler/kernelgen.mli: Ir Reg Ximd_core Ximd_isa

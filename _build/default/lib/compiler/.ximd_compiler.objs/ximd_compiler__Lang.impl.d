@@ -1,0 +1,1 @@
+lib/compiler/lang.ml: Codegen Format Hashtbl Int32 Ir List Printf String Ximd_isa

@@ -1,0 +1,1 @@
+lib/compiler/lang.mli: Codegen Format Ir

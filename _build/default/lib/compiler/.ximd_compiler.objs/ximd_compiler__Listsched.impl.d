@@ -1,0 +1,1 @@
+lib/compiler/listsched.ml: Array Ddg Format Fun Ir List Printf

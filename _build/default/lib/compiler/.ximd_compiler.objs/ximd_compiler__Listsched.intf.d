@@ -1,0 +1,1 @@
+lib/compiler/listsched.mli: Format Ir

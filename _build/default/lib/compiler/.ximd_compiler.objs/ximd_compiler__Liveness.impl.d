@@ -1,0 +1,1 @@
+lib/compiler/liveness.ml: Hashtbl Int Ir List Set

@@ -1,0 +1,1 @@
+lib/compiler/packing.ml: Array Buffer Char Hashtbl List Printf String Tile

@@ -1,0 +1,1 @@
+lib/compiler/packing.mli: Tile

@@ -1,0 +1,1 @@
+lib/compiler/pipeliner.ml: Array Ddg Fun Ir List Listsched Printf

@@ -1,0 +1,1 @@
+lib/compiler/regalloc.ml: Array Hashtbl Ir List Listsched Option Printf Queue Reg Ximd_isa

@@ -1,0 +1,1 @@
+lib/compiler/regalloc.mli: Ir Listsched Reg Ximd_isa

@@ -1,0 +1,1 @@
+lib/compiler/threader.ml: Array Codegen Cond Control Hashtbl Interp Ir List Opcode Operand Parcel Printf Reg Result String Sync Value Ximd_core Ximd_isa Ximd_machine

@@ -1,0 +1,1 @@
+lib/compiler/threader.mli: Ir Ximd_core Ximd_isa

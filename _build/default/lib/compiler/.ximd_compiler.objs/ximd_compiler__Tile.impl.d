@@ -1,0 +1,1 @@
+lib/compiler/tile.ml: Codegen Format Ir List

@@ -1,0 +1,1 @@
+lib/compiler/tile.mli: Codegen Format Ir

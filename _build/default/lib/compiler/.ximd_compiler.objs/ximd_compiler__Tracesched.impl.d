@@ -1,0 +1,1 @@
+lib/compiler/tracesched.ml: Array Codegen Ddg Fun Hashtbl Ir List Liveness Regalloc Ximd_asm Ximd_core

@@ -1,0 +1,1 @@
+lib/compiler/tracesched.mli: Codegen Ir Stdlib

@@ -1,0 +1,139 @@
+open Ximd_isa
+module B = Ximd_asm.Builder
+
+type compiled = {
+  program : Ximd_core.Program.t;
+  width : int;
+  param_regs : (Ir.vreg * Reg.t) list;
+  result_regs : (Ir.vreg * Reg.t) list;
+  static_rows : int;
+  used_regs : int;
+}
+
+let operand reg_of = function
+  | Ir.V v -> Operand.Reg (reg_of v)
+  | Ir.C c -> Operand.Imm (Value.of_int32 c)
+  | Ir.Cf f -> Operand.Imm (Value.of_float f)
+
+let data_of_op reg_of (op : Ir.op) =
+  let o = operand reg_of in
+  match op with
+  | Ir.Bin (bop, a, b, d) -> Parcel.Dbin { op = bop; a = o a; b = o b; d = reg_of d }
+  | Ir.Un (uop, a, d) -> Parcel.Dun { op = uop; a = o a; d = reg_of d }
+  | Ir.Cmp (cop, a, b, _) -> Parcel.Dcmp { op = cop; a = o a; b = o b }
+  | Ir.Load (a, b, d) -> Parcel.Dload { a = o a; b = o b; d = reg_of d }
+  | Ir.Store (a, b) -> Parcel.Dstore { a = o a; b = o b }
+
+(* Rows a block must occupy: the schedule itself, plus room for a
+   conditional terminator's compare to commit strictly before the branch
+   row, plus — on a pipelined datapath — room for every register/memory
+   write to commit before control leaves the block (cross-block flow
+   dependences are not in the block-local DDG). *)
+let required_rows ~latency (sched : Listsched.t) ops term =
+  let n_rows = Array.length sched.rows in
+  let cmp_row = ref (-1) in
+  (match term with
+   | Ir.Branch (p, _, _) ->
+     Array.iteri
+       (fun r row ->
+         List.iter
+           (fun i -> if Ir.def_pred ops.(i) = Some p then cmp_row := r)
+           row)
+       sched.rows
+   | Ir.Jump _ | Ir.Return -> ());
+  let writes i =
+    match ops.(i) with
+    | Ir.Store _ -> true
+    | Ir.Bin _ | Ir.Un _ | Ir.Load _ -> true
+    | Ir.Cmp _ -> false
+  in
+  let last_commit = ref (n_rows - 1) in
+  Array.iteri
+    (fun r row ->
+      List.iter
+        (fun i -> if writes i then last_commit := max !last_commit (r + latency - 1))
+        row)
+    sched.rows;
+  let min_total = max 1 (!last_commit + 1) in
+  let min_total =
+    match term with
+    | Ir.Branch _ -> max min_total (!cmp_row + 2)
+    | Ir.Jump _ | Ir.Return -> min_total
+  in
+  min_total
+
+(* Emit one scheduled block. *)
+let emit_scheduled ~latency builder reg_of (block : Ir.block)
+    (sched : Listsched.t) ops =
+  let n_rows = Array.length sched.rows in
+  B.label builder block.label;
+  (* FU slot of the compare defining the terminator's predicate. *)
+  let cmp_slot = ref None in
+  (match block.term with
+   | Ir.Branch (p, _, _) ->
+     Array.iteri
+       (fun _ row ->
+         List.iteri
+           (fun slot i ->
+             if Ir.def_pred ops.(i) = Some p then cmp_slot := Some slot)
+           row)
+       sched.rows
+   | Ir.Jump _ | Ir.Return -> ());
+  let total_rows = required_rows ~latency sched ops block.term in
+  ignore n_rows;
+  let n_rows = Array.length sched.rows in
+  let terminator_ctl =
+    match block.term with
+    | Ir.Jump l -> B.goto (B.lbl l)
+    | Ir.Return -> B.halt
+    | Ir.Branch (_, t1, t2) ->
+      let slot =
+        match !cmp_slot with
+        | Some s -> s
+        | None ->
+          (* Ir.validate guarantees the compare exists. *)
+          assert false
+      in
+      B.if_cc slot (B.lbl t1) (B.lbl t2)
+  in
+  for r = 0 to total_rows - 1 do
+    let row_ops = if r < n_rows then sched.rows.(r) else [] in
+    let ctl = if r = total_rows - 1 then terminator_ctl else B.goto B.next in
+    B.row builder ~ctl
+      (List.map (fun i -> B.d (data_of_op reg_of ops.(i))) row_ops)
+  done
+
+let emit_block ?(latency = 1) builder reg_of ~width (block : Ir.block) =
+  let ops = Array.of_list block.body in
+  let sched = Listsched.schedule ~latency ~width ops in
+  emit_scheduled ~latency builder reg_of block sched ops
+
+let block_rows ?(latency = 1) ~width (block : Ir.block) =
+  let ops = Array.of_list block.body in
+  let sched = Listsched.schedule ~latency ~width ops in
+  required_rows ~latency sched ops block.term
+
+let compile ?(width = 8) ?latency ?reg_base (func : Ir.func) =
+  if width < 1 || width > 16 then Error [ "Codegen.compile: bad width" ]
+  else
+    match Ir.validate func with
+    | Error errors -> Error errors
+    | Ok () -> (
+      match Regalloc.trivial ?reg_base func with
+      | Error msg -> Error [ "register allocation: " ^ msg ]
+      | Ok assignment ->
+        let builder = B.create ~n_fus:width in
+        List.iter
+          (fun (block : Ir.block) ->
+            emit_block ?latency builder assignment.reg_of ~width block)
+          func.blocks;
+        let program = B.build builder in
+        Ok
+          { program;
+            width;
+            param_regs =
+              List.map (fun v -> (v, assignment.reg_of v)) func.params;
+            result_regs =
+              List.map (fun v -> (v, assignment.reg_of v)) func.results;
+            static_rows = Ximd_core.Program.length program;
+            used_regs = assignment.used })

@@ -1,0 +1,93 @@
+type kind = Flow | Anti | Output | Mem
+
+type edge = {
+  src : int;
+  dst : int;
+  latency : int;
+  kind : kind;
+}
+
+type t = {
+  n : int;
+  edges : edge list;
+  preds_by : edge list array;
+  succs_by : edge list array;
+}
+
+let is_mem = function
+  | Ir.Load _ | Ir.Store _ -> true
+  | Ir.Bin _ | Ir.Un _ | Ir.Cmp _ -> false
+
+let is_store = function
+  | Ir.Store _ -> true
+  | Ir.Load _ | Ir.Bin _ | Ir.Un _ | Ir.Cmp _ -> false
+
+let build ?(latency = 1) ops =
+  if latency < 1 then invalid_arg "Ddg.build: latency < 1";
+  let n = Array.length ops in
+  let edges = ref [] in
+  let add src dst latency kind =
+    if src <> dst then edges := { src; dst; latency; kind } :: !edges
+  in
+  for j = 0 to n - 1 do
+    for i = 0 to j - 1 do
+      (* register dependencies, i before j in program order *)
+      (match Ir.defs ops.(i) with
+       | Some d ->
+         if List.mem d (Ir.uses ops.(j)) then add i j latency Flow;
+         (match Ir.defs ops.(j) with
+          | Some d' when d = d' -> add i j 1 Output
+          | Some _ | None -> ())
+       | None -> ());
+      (match Ir.defs ops.(j) with
+       | Some d -> if List.mem d (Ir.uses ops.(i)) then add i j 0 Anti
+       | None -> ());
+      (* memory dependencies: conservative, no address analysis *)
+      if is_mem ops.(i) && is_mem ops.(j) && (is_store ops.(i) || is_store ops.(j))
+      then begin
+        let latency = if is_store ops.(i) then latency else 0 in
+        add i j latency Mem
+      end
+    done
+  done;
+  let preds_by = Array.make n [] and succs_by = Array.make n [] in
+  List.iter
+    (fun e ->
+      preds_by.(e.dst) <- e :: preds_by.(e.dst);
+      succs_by.(e.src) <- e :: succs_by.(e.src))
+    !edges;
+  { n; edges = List.rev !edges; preds_by; succs_by }
+
+let size g = g.n
+let edges g = g.edges
+let preds g i = g.preds_by.(i)
+let succs g i = g.succs_by.(i)
+
+(* Longest path to a sink; the graph is a DAG because all edges go
+   forward in program order. *)
+let heights g =
+  let h = Array.make g.n 0 in
+  for i = g.n - 1 downto 0 do
+    List.iter
+      (fun e -> h.(i) <- max h.(i) (e.latency + h.(e.dst)))
+      g.succs_by.(i)
+  done;
+  h
+
+let critical_path g =
+  Array.fold_left max 0 (heights g)
+
+let kind_name = function
+  | Flow -> "flow"
+  | Anti -> "anti"
+  | Output -> "out"
+  | Mem -> "mem"
+
+let pp fmt g =
+  Format.fprintf fmt "@[<v>%d nodes" g.n;
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "@,%d -%s(%d)-> %d" e.src (kind_name e.kind)
+        e.latency e.dst)
+    g.edges;
+  Format.fprintf fmt "@]"

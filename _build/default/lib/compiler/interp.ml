@@ -1,0 +1,92 @@
+open Ximd_isa
+module M = Ximd_machine
+
+type outcome = {
+  results : Value.t list;
+  mem : (int, Value.t) Hashtbl.t;
+  steps : int;
+}
+
+exception Stop of string
+
+let run ?(max_steps = 1_000_000) (func : Ir.func) ~args ~mem =
+  match Ir.validate func with
+  | Error errors -> Error (String.concat "; " errors)
+  | Ok () ->
+    if List.length args <> List.length func.params then
+      Error "argument count mismatch"
+    else begin
+      let regs : (Ir.vreg, Value.t) Hashtbl.t = Hashtbl.create 61 in
+      let preds : (Ir.pred, bool) Hashtbl.t = Hashtbl.create 7 in
+      let memory : (int, Value.t) Hashtbl.t = Hashtbl.create 61 in
+      List.iter2 (fun v a -> Hashtbl.replace regs v a) func.params args;
+      List.iter (fun (addr, v) -> Hashtbl.replace memory addr v) mem;
+      let value = function
+        | Ir.V v -> (
+          match Hashtbl.find_opt regs v with
+          | Some x -> x
+          | None -> Value.zero)
+        | Ir.C c -> Value.of_int32 c
+        | Ir.Cf f -> Value.of_float f
+      in
+      let mem_read addr =
+        match Hashtbl.find_opt memory addr with
+        | Some v -> v
+        | None -> Value.zero
+      in
+      let steps = ref 0 in
+      let exec op =
+        incr steps;
+        if !steps > max_steps then raise (Stop "step budget exhausted");
+        match op with
+        | Ir.Bin (bop, a, b, d) -> (
+          match M.Alu.eval_bin bop (value a) (value b) with
+          | Ok v -> Hashtbl.replace regs d v
+          | Error M.Alu.Division_by_zero -> raise (Stop "division by zero"))
+        | Ir.Un (uop, a, d) ->
+          Hashtbl.replace regs d (M.Alu.eval_un uop (value a))
+        | Ir.Cmp (cop, a, b, p) ->
+          Hashtbl.replace preds p (M.Alu.eval_cmp cop (value a) (value b))
+        | Ir.Load (a, b, d) ->
+          let addr =
+            Int32.to_int
+              (Int32.add (Value.to_int32 (value a)) (Value.to_int32 (value b)))
+          in
+          Hashtbl.replace regs d (mem_read addr)
+        | Ir.Store (a, b) ->
+          let addr = Int32.to_int (Value.to_int32 (value b)) in
+          Hashtbl.replace memory addr (value a)
+      in
+      let rec run_block (block : Ir.block) =
+        List.iter exec block.body;
+        match block.term with
+        | Ir.Return ->
+          { results =
+              List.map
+                (fun v ->
+                  match Hashtbl.find_opt regs v with
+                  | Some x -> x
+                  | None -> Value.zero)
+                func.results;
+            mem = memory;
+            steps = !steps }
+        | Ir.Jump l -> jump l
+        | Ir.Branch (p, t1, t2) ->
+          let taken =
+            match Hashtbl.find_opt preds p with
+            | Some b -> b
+            | None -> raise (Stop "branch on unset predicate")
+          in
+          jump (if taken then t1 else t2)
+      and jump l =
+        match Ir.block_named func l with
+        | Some b -> run_block b
+        | None -> raise (Stop ("no block " ^ l))
+      in
+      match func.blocks with
+      | [] -> Error "no blocks"
+      | entry :: _ -> (
+        match run_block entry with
+        | outcome -> Ok outcome
+        | exception Stop msg -> Error msg)
+    end

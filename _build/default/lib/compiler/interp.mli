@@ -1,0 +1,25 @@
+(** Reference interpreter for the IR.
+
+    Executes a function sequentially with the exact datapath semantics of
+    the machine (it evaluates through {!Ximd_machine.Alu}, so integer
+    wraparound, shift masking and single-precision float rounding match
+    the simulators bit for bit).  Used as the oracle when testing the
+    scheduler and code generator: compiled programs must compute the same
+    results as the interpreter on the same inputs. *)
+
+open Ximd_isa
+
+type outcome = {
+  results : Value.t list;             (** values of [func.results] *)
+  mem : (int, Value.t) Hashtbl.t;     (** final memory contents *)
+  steps : int;                        (** IR operations executed *)
+}
+
+val run :
+  ?max_steps:int ->
+  Ir.func ->
+  args:Value.t list ->
+  mem:(int * Value.t) list ->
+  (outcome, string) result
+(** [max_steps] (default 1_000_000) bounds execution; divisions by zero,
+    argument-count mismatches and step exhaustion produce errors. *)

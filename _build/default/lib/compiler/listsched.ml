@@ -1,0 +1,102 @@
+type t = {
+  rows : int list array;
+  row_of : int array;
+  width : int;
+}
+
+let schedule ?(latency = 1) ~width ops =
+  if width < 1 then invalid_arg "Listsched.schedule: width < 1";
+  let n = Array.length ops in
+  let g = Ddg.build ~latency ops in
+  let heights = Ddg.heights g in
+  let row_of = Array.make n (-1) in
+  let remaining_preds = Array.init n (fun i -> List.length (Ddg.preds g i)) in
+  (* earliest.(i) = lowest legal row given already-scheduled preds *)
+  let earliest = Array.make n 0 in
+  let scheduled = ref 0 in
+  let rows = ref [] in
+  let cycle = ref 0 in
+  while !scheduled < n do
+    (* Ready: all preds issued, earliest row reached. *)
+    let ready =
+      List.init n Fun.id
+      |> List.filter (fun i ->
+           row_of.(i) < 0 && remaining_preds.(i) = 0 && earliest.(i) <= !cycle)
+      |> List.sort (fun a b ->
+           match compare heights.(b) heights.(a) with
+           | 0 -> compare a b
+           | c -> c)
+    in
+    let rec take k acc = function
+      | [] -> List.rev acc
+      | _ when k = 0 -> List.rev acc
+      | x :: rest -> take (k - 1) (x :: acc) rest
+    in
+    let chosen = take width [] ready in
+    List.iter
+      (fun i ->
+        row_of.(i) <- !cycle;
+        incr scheduled;
+        List.iter
+          (fun (e : Ddg.edge) ->
+            remaining_preds.(e.dst) <- remaining_preds.(e.dst) - 1;
+            earliest.(e.dst) <- max earliest.(e.dst) (!cycle + e.latency))
+          (Ddg.succs g i))
+      chosen;
+    rows := chosen :: !rows;
+    incr cycle
+  done;
+  (* Drop trailing empty rows (possible when the last ready ops issued
+     before the final cycle bump) and any empty rows interleaved by
+     latency stalls are kept — they are real machine rows. *)
+  let rows = Array.of_list (List.rev !rows) in
+  let last_used = ref (Array.length rows - 1) in
+  while !last_used > 0 && rows.(!last_used) = [] do
+    decr last_used
+  done;
+  let rows = Array.sub rows 0 (!last_used + 1) in
+  { rows; row_of; width }
+
+let length t = Array.length t.rows
+
+let verify ?(latency = 1) ops t =
+  let n = Array.length ops in
+  if Array.length t.row_of <> n then Error "row_of size mismatch"
+  else begin
+    let errors = ref [] in
+    Array.iteri
+      (fun r row ->
+        if List.length row > t.width then
+          errors := Printf.sprintf "row %d exceeds width" r :: !errors;
+        List.iter
+          (fun i ->
+            if t.row_of.(i) <> r then
+              errors := Printf.sprintf "op %d row mismatch" i :: !errors)
+          row)
+      t.rows;
+    Array.iteri
+      (fun i r ->
+        if r < 0 || r >= Array.length t.rows then
+          errors := Printf.sprintf "op %d unscheduled" i :: !errors)
+      t.row_of;
+    let g = Ddg.build ~latency ops in
+    List.iter
+      (fun (e : Ddg.edge) ->
+        if t.row_of.(e.dst) < t.row_of.(e.src) + e.latency then
+          errors :=
+            Printf.sprintf "edge %d->%d violated (latency %d)" e.src e.dst
+              e.latency
+            :: !errors)
+      (Ddg.edges g);
+    match !errors with [] -> Ok () | e :: _ -> Error e
+  end
+
+let pp ops fmt t =
+  Format.pp_open_vbox fmt 0;
+  Array.iteri
+    (fun r row ->
+      Format.fprintf fmt "row %d:" r;
+      List.iter (fun i -> Format.fprintf fmt "  [%a]" Ir.pp_op ops.(i)) row;
+      Format.pp_print_cut fmt ())
+    t.rows;
+  Format.pp_close_box fmt ()

@@ -1,0 +1,28 @@
+(** Width-constrained list scheduling.
+
+    The classic greedy scheduler used for VLIW compaction: operations
+    become ready when their dependence predecessors have issued (with
+    edge latencies satisfied) and are packed into rows of at most
+    [width] operations, highest critical-path height first.  All XIMD-1
+    operations take one cycle and every functional unit is universal, so
+    the only resource is the row width. *)
+
+type t = {
+  rows : int list array;  (** op indices per row, at most [width] each *)
+  row_of : int array;     (** op index -> row *)
+  width : int;
+}
+
+val schedule : ?latency:int -> width:int -> Ir.op array -> t
+(** [latency] is the machine result latency fed to {!Ddg.build}
+    (default 1).
+    @raise Invalid_argument if [width < 1]. *)
+
+val length : t -> int
+(** Number of rows. *)
+
+val verify : ?latency:int -> Ir.op array -> t -> (unit, string) result
+(** Independent check that the schedule respects every DDG edge and the
+    width bound — used by tests and the property suite. *)
+
+val pp : Ir.op array -> Format.formatter -> t -> unit

@@ -1,0 +1,18 @@
+(** Block-level live-variable analysis.
+
+    Standard backward dataflow over the function's CFG; used by the
+    restricted trace scheduler to decide which operations may move above
+    a side exit (an operation whose result is dead on the off-trace path
+    can execute speculatively). *)
+
+module VSet : Set.S with type elt = Ir.vreg
+
+type t
+
+val compute : Ir.func -> t
+
+val live_in : t -> string -> VSet.t
+(** Variables live on entry to the named block (empty for unknown
+    labels). *)
+
+val live_out : t -> string -> VSet.t

@@ -1,0 +1,61 @@
+(** Tile packing — the §4.2/Figure 13 placement problem.
+
+    "Once a set of tiles is produced for each code thread, a packing
+    algorithm is used to schedule one implementation of each thread
+    within a larger space representing the entire instruction memory.
+    ...  This example clearly attempts to optimize for static code
+    density.  A similar method might be used to optimize for execution
+    time."
+
+    Two packers are provided:
+    - {!pack_density}: choose one tile per thread and place the
+      rectangles in an [n_fus]-wide instruction-memory strip, minimising
+      total height (static code size).  A skyline best-fit heuristic
+      ordered by decreasing area; when the product of per-thread menu
+      sizes is small the tile choice is explored exhaustively.
+    - {!pack_time}: choose tiles and assign threads to FU columns over
+      time, respecting inter-thread dependencies, minimising makespan
+      (a thread's execution time is modelled by its tile length).
+
+    Both report their objective value next to the corresponding lower
+    bound ([ceil(total area / n_fus)], plus the dependence critical path
+    for makespan), so benchmarks can show the heuristic gap. *)
+
+type placement = {
+  thread : string;
+  tile : Tile.t;
+  x : int;  (** first FU column *)
+  y : int;  (** first instruction address (density) / start cycle (time) *)
+}
+
+type packing = {
+  placements : placement list;
+  n_fus : int;
+  height : int;       (** strip height (density) or makespan (time) *)
+  lower_bound : int;
+}
+
+val pack_density :
+  ?n_fus:int -> ?exhaustive_limit:int ->
+  (string * Tile.t list) list ->
+  (packing, string) result
+(** [choices] maps each thread to its (non-empty) tile menu.
+    [exhaustive_limit] (default 20_000) caps the number of tile-choice
+    combinations tried exhaustively; above it a min-area heuristic picks
+    the tiles. *)
+
+val pack_time :
+  ?n_fus:int ->
+  deps:(string * string) list ->
+  (string * Tile.t list) list ->
+  (packing, string) result
+(** [deps] lists (before, after) thread pairs; the DAG must be acyclic. *)
+
+val render : packing -> string
+(** ASCII diagram of the strip: one character column per FU, one row per
+    address, thread initial letters in the occupied cells (Figure 13's
+    pictures). *)
+
+val valid : packing -> (unit, string) result
+(** Checks no two placements overlap and all fit in the strip — used by
+    tests and the property suite. *)

@@ -1,0 +1,198 @@
+type t = {
+  ii : int;
+  times : int array;
+  stages : int;
+  res_mii : int;
+  width : int;
+}
+
+type mod_edge = {
+  src : int;
+  dst : int;
+  latency : int;
+  distance : int;  (* iterations *)
+}
+
+(* Intra-iteration edges (distance 0) from the block DDG, plus
+   loop-carried flow edges (distance 1): a use with no earlier def in
+   the body reads the previous iteration's (last) def. *)
+let mod_edges ops =
+  let n = Array.length ops in
+  let g = Ddg.build ops in
+  let intra =
+    List.map
+      (fun (e : Ddg.edge) ->
+        { src = e.src; dst = e.dst; latency = e.latency; distance = 0 })
+      (Ddg.edges g)
+  in
+  let last_def v =
+    let rec loop i acc =
+      if i >= n then acc
+      else loop (i + 1) (if Ir.defs ops.(i) = Some v then Some i else acc)
+    in
+    loop 0 None
+  in
+  let carried = ref [] in
+  for j = 0 to n - 1 do
+    List.iter
+      (fun v ->
+        let defined_before =
+          let rec scan i =
+            i < j && (Ir.defs ops.(i) = Some v || scan (i + 1))
+          in
+          scan 0
+        in
+        if not defined_before then
+          match last_def v with
+          | Some i ->
+            carried := { src = i; dst = j; latency = 1; distance = 1 }
+                       :: !carried
+          | None -> ())
+      (Ir.uses ops.(j))
+  done;
+  (* Carried output dependences: two iterations' definitions of one
+     vreg must not land in the same cycle (needed when modulo variable
+     expansion degenerates to a single copy). *)
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      match (Ir.defs ops.(i), Ir.defs ops.(j)) with
+      | Some a, Some b when a = b && j <= i ->
+        carried := { src = i; dst = j; latency = 1; distance = 1 } :: !carried
+      | _ -> ()
+    done
+  done;
+  (* Carried memory ordering: a store conflicts with every memory op of
+     the next iteration. *)
+  let is_mem = function
+    | Ir.Load _ | Ir.Store _ -> true
+    | Ir.Bin _ | Ir.Un _ | Ir.Cmp _ -> false
+  in
+  let is_store = function
+    | Ir.Store _ -> true
+    | Ir.Load _ | Ir.Bin _ | Ir.Un _ | Ir.Cmp _ -> false
+  in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if
+        is_mem ops.(i) && is_mem ops.(j)
+        && (is_store ops.(i) || is_store ops.(j))
+        && j <= i
+      then
+        carried :=
+          { src = i; dst = j; latency = (if is_store ops.(i) then 1 else 0);
+            distance = 1 }
+          :: !carried
+    done
+  done;
+  intra @ List.rev !carried
+
+let try_ii ~width ~edges ~priority n ii =
+  let times = Array.make n (-1) in
+  let slot_load = Array.make ii 0 in
+  let order =
+    List.sort
+      (fun a b -> compare priority.(b) priority.(a))
+      (List.init n Fun.id)
+  in
+  let ok = ref true in
+  List.iter
+    (fun i ->
+      if !ok then begin
+        let earliest = ref 0 in
+        List.iter
+          (fun e ->
+            if e.dst = i && times.(e.src) >= 0 then
+              earliest :=
+                max !earliest (times.(e.src) + e.latency - (ii * e.distance)))
+          edges;
+        (* Try II consecutive start times; beyond that the resource
+           pattern repeats. *)
+        let placed = ref false in
+        let candidate = ref (max 0 !earliest) in
+        let tries = ref 0 in
+        while (not !placed) && !tries < ii do
+          if slot_load.(!candidate mod ii) < width then begin
+            times.(i) <- !candidate;
+            slot_load.(!candidate mod ii) <- slot_load.(!candidate mod ii) + 1;
+            placed := true
+          end
+          else begin
+            incr candidate;
+            incr tries
+          end
+        done;
+        if not !placed then ok := false
+      end)
+    order;
+  if not !ok then None
+  else begin
+    (* Greedy placement without ejection can violate edges into
+       already-scheduled ops; validate before accepting. *)
+    let valid =
+      List.for_all
+        (fun e -> times.(e.dst) >= times.(e.src) + e.latency - (ii * e.distance))
+        edges
+    in
+    if valid then Some times else None
+  end
+
+let schedule ~width ops =
+  let n = Array.length ops in
+  if n = 0 then Error "empty loop body"
+  else if width < 1 then Error "width < 1"
+  else begin
+    let edges = mod_edges ops in
+    let g = Ddg.build ops in
+    let priority = Ddg.heights g in
+    let res_mii = (n + width - 1) / width in
+    let max_ii = (2 * n) + 4 in
+    let rec search ii =
+      if ii > max_ii then Error "no feasible initiation interval found"
+      else
+        match try_ii ~width ~edges ~priority n ii with
+        | Some times ->
+          let horizon = Array.fold_left max 0 times in
+          Ok
+            { ii; times; stages = (horizon / ii) + 1; res_mii; width }
+        | None -> search (ii + 1)
+    in
+    search (max res_mii 1)
+  end
+
+let verify ~width ops t =
+  let n = Array.length ops in
+  if Array.length t.times <> n then Error "times size mismatch"
+  else begin
+    let edges = mod_edges ops in
+    let bad_edge =
+      List.find_opt
+        (fun e ->
+          t.times.(e.dst) < t.times.(e.src) + e.latency - (t.ii * e.distance))
+        edges
+    in
+    match bad_edge with
+    | Some e ->
+      Error
+        (Printf.sprintf "dependence %d->%d (lat %d, dist %d) violated" e.src
+           e.dst e.latency e.distance)
+    | None ->
+      let load = Array.make t.ii 0 in
+      Array.iter
+        (fun time -> load.(time mod t.ii) <- load.(time mod t.ii) + 1)
+        t.times;
+      if Array.exists (fun l -> l > width) load then
+        Error "kernel row exceeds width"
+      else Ok ()
+  end
+
+let kernel ops t =
+  let rows = Array.make t.ii [] in
+  Array.iteri
+    (fun i time -> rows.(time mod t.ii) <- i :: rows.(time mod t.ii))
+    t.times;
+  ignore ops;
+  Array.map List.rev rows
+
+let speedup_bound ops t =
+  let sequential = Listsched.length (Listsched.schedule ~width:t.width ops) in
+  float_of_int sequential /. float_of_int t.ii

@@ -1,0 +1,46 @@
+(** Modulo software pipelining — scheduling analysis.
+
+    "Software Pipelining uses the semantics of program loops to tightly
+    schedule repetitive operations" (paper §1.2); the XIMD compiler
+    project planned "an expanded version of Percolation Scheduling,
+    Software Pipelining" (§4.2).  This module implements the scheduling
+    half of iterative modulo scheduling for a single-block loop body:
+    it derives loop-carried dependences from the body's def/use pattern,
+    computes the resource minimum initiation interval, and searches for
+    the smallest initiation interval II admitting a modulo schedule.
+
+    Simplifications versus Rau's full IMS (documented in DESIGN.md): no
+    operation ejection/backtracking — if the greedy placement fails at a
+    candidate II, the next II is tried — and kernel code generation is
+    not automated (the workload suite's LL12 shows the hand-generated
+    kernel shape the schedule implies).
+
+    Loop-carried dependences: a use of [v] at body position [j] with no
+    prior definition of [v] at positions [< j] reads the value produced
+    by [v]'s (last) definition in the {e previous} iteration — a flow
+    edge with iteration distance 1. *)
+
+type t = {
+  ii : int;               (** achieved initiation interval *)
+  times : int array;      (** op index -> issue time (flat schedule) *)
+  stages : int;           (** pipeline depth in stages of II cycles *)
+  res_mii : int;          (** resource-constrained lower bound *)
+  width : int;
+}
+
+val schedule : width:int -> Ir.op array -> (t, string) result
+(** Fails on an empty body or if no II up to [length body * 2 + 4]
+    admits a schedule (which cannot happen for DAG-consistent bodies). *)
+
+val verify : width:int -> Ir.op array -> t -> (unit, string) result
+(** Independent validation: every intra- and inter-iteration dependence
+    satisfies [time(dst) >= time(src) + latency - II * distance], and no
+    more than [width] operations share an issue slot modulo II. *)
+
+val kernel : Ir.op array -> t -> int list array
+(** [kernel ops s] groups op indices by issue row modulo II — the
+    steady-state kernel, one list per kernel row. *)
+
+val speedup_bound : Ir.op array -> t -> float
+(** Sequential-rows / II: throughput gain of the pipelined loop over a
+    non-overlapped schedule of the same body at the same width. *)

@@ -1,0 +1,35 @@
+(** Register allocation.
+
+    Two allocators:
+    - {!trivial}: one physical register per virtual register, in first-use
+      order with parameters first.  Correct across arbitrary control flow
+      (values live across blocks keep their home), at the cost of
+      pressure; XIMD-1's 256 global registers make this practical for the
+      kernels this compiler targets.
+    - {!linear_scan}: row-indexed linear scan over a single scheduled
+      block, reusing registers whose live interval has ended.  A register
+      freed by a last use in row r may be reassigned to a definition in
+      the same row: the machine reads start-of-cycle values and commits
+      writes at end of cycle, so the reuse is safe. *)
+
+open Ximd_isa
+
+type assignment = {
+  reg_of : Ir.vreg -> Reg.t;
+  used : int;  (** number of distinct physical registers *)
+}
+
+val trivial : ?reg_base:int -> Ir.func -> (assignment, string) result
+(** One register per vreg, allocated from [reg_base] (default 0) — the
+    base lets several independently compiled threads share the global
+    register file without colliding.  Fails if the function would run
+    past register 255. *)
+
+val linear_scan :
+  Ir.op array ->
+  Listsched.t ->
+  params:(Ir.vreg * Reg.t) list ->
+  results:Ir.vreg list ->
+  (assignment, string) result
+(** Single-block allocation.  [params] are pre-coloured and live from
+    row 0; [results] stay live to the end of the block. *)

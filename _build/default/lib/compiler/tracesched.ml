@@ -1,0 +1,378 @@
+module B = Ximd_asm.Builder
+
+type result = {
+  compiled : Codegen.compiled;
+  trace : string list;
+  region_rows : int;
+  blockwise_rows : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Trace selection                                                     *)
+
+let predecessors (func : Ir.func) =
+  let table = Hashtbl.create 17 in
+  List.iter
+    (fun (b : Ir.block) ->
+      let add l = Hashtbl.replace table l (b.label :: (match Hashtbl.find_opt table l with Some x -> x | None -> [])) in
+      match b.term with
+      | Ir.Jump l -> add l
+      | Ir.Branch (_, t1, t2) -> add t1; if t1 <> t2 then add t2
+      | Ir.Return -> ())
+    func.blocks;
+  fun label ->
+    match Hashtbl.find_opt table label with Some l -> l | None -> []
+
+let select_trace ?(prob = []) (func : Ir.func) =
+  let preds = predecessors func in
+  let prob_of label =
+    match List.assoc_opt label prob with Some p -> p | None -> 0.5
+  in
+  let rec follow acc (b : Ir.block) =
+    let acc = acc @ [ b.label ] in
+    let next =
+      match b.term with
+      | Ir.Return -> None
+      | Ir.Jump l -> Some l
+      | Ir.Branch (_, t1, t2) ->
+        Some (if prob_of b.label >= 0.5 then t1 else t2)
+    in
+    match next with
+    | None -> acc
+    | Some l -> (
+      if List.mem l acc then acc
+      else
+        match Ir.block_named func l with
+        | None -> acc
+        | Some next_block ->
+          (* Side-entrance restriction: every predecessor of a non-head
+             trace block must be the block we came from. *)
+          let outside =
+            List.filter (fun p -> p <> b.label) (preds l)
+          in
+          if outside <> [] then acc else follow acc next_block)
+  in
+  match func.blocks with [] -> [] | entry :: _ -> follow [] entry
+
+(* ------------------------------------------------------------------ *)
+(* Region construction                                                 *)
+
+type node =
+  | Data of { op : Ir.op; block_pos : int }
+  | Exit of { cmp : int; on_trace_is_t1 : bool; off : string; block_pos : int }
+  | Final of Ir.terminator * int option  (* cmp node for a final Branch *)
+
+type edge = { src : int; dst : int; latency : int }
+
+let is_store = function
+  | Ir.Store _ -> true
+  | Ir.Load _ | Ir.Bin _ | Ir.Un _ | Ir.Cmp _ -> false
+
+let build_region (func : Ir.func) trace_labels ~prob =
+  let live = Liveness.compute func in
+  let blocks =
+    List.map
+      (fun l ->
+        match Ir.block_named func l with
+        | Some b -> b
+        | None -> invalid_arg "trace label without block")
+      trace_labels
+  in
+  let n_blocks = List.length blocks in
+  let prob_of label =
+    match List.assoc_opt label prob with Some p -> p | None -> 0.5
+  in
+  (* Nodes: data ops in trace order, then control nodes interleaved
+     logically via edges (their list position does not matter). *)
+  let nodes = ref [] and n_nodes = ref 0 in
+  let push node =
+    nodes := node :: !nodes;
+    let id = !n_nodes in
+    incr n_nodes;
+    id
+  in
+  let edges = ref [] in
+  let add_edge src dst latency = edges := { src; dst; latency } :: !edges in
+  (* Data nodes; remember (node id, op, block position) and, per block,
+     the node of the Cmp feeding its terminator. *)
+  let data_nodes = ref [] in
+  let cmp_node_for = Hashtbl.create 7 in
+  List.iteri
+    (fun bi (b : Ir.block) ->
+      List.iter
+        (fun op ->
+          let id = push (Data { op; block_pos = bi }) in
+          data_nodes := (id, op, bi) :: !data_nodes;
+          (match (Ir.def_pred op, b.term) with
+           | Some p, Ir.Branch (q, _, _) when p = q ->
+             Hashtbl.replace cmp_node_for b.label id
+           | _ -> ()))
+        b.body)
+    blocks;
+  let data_nodes = List.rev !data_nodes in
+  (* DDG edges over the concatenated data ops. *)
+  let ops_array = Array.of_list (List.map (fun (_, op, _) -> op) data_nodes) in
+  let ids_array = Array.of_list (List.map (fun (id, _, _) -> id) data_nodes) in
+  let g = Ddg.build ops_array in
+  List.iter
+    (fun (e : Ddg.edge) ->
+      add_edge ids_array.(e.src) ids_array.(e.dst) e.latency)
+    (Ddg.edges g);
+  (* Control nodes. *)
+  let control_nodes = ref [] in
+  List.iteri
+    (fun bi (b : Ir.block) ->
+      if bi < n_blocks - 1 then begin
+        match b.term with
+        | Ir.Jump _ -> ()  (* absorbed into the region *)
+        | Ir.Return -> invalid_arg "Return inside a trace"
+        | Ir.Branch (_, t1, t2) ->
+          let on_t1 = prob_of b.label >= 0.5 in
+          let off = if on_t1 then t2 else t1 in
+          let cmp = Hashtbl.find cmp_node_for b.label in
+          let id = push (Exit { cmp; on_trace_is_t1 = on_t1; off; block_pos = bi }) in
+          add_edge cmp id 1;
+          control_nodes := (id, bi, Some off) :: !control_nodes
+      end
+      else begin
+        let cmp =
+          match b.term with
+          | Ir.Branch _ -> Some (Hashtbl.find cmp_node_for b.label)
+          | Ir.Jump _ | Ir.Return -> None
+        in
+        let id = push (Final (b.term, cmp)) in
+        (match cmp with Some c -> add_edge c id 1 | None -> ());
+        control_nodes := (id, bi, None) :: !control_nodes
+      end)
+    blocks;
+  let control_nodes = List.rev !control_nodes in
+  (* Order among control nodes. *)
+  let rec chain = function
+    | (a, _, _) :: ((b, _, _) :: _ as rest) ->
+      add_edge a b 1;
+      chain rest
+    | [ _ ] | [] -> ()
+  in
+  chain control_nodes;
+  (* Speculation / commit constraints against each side exit. *)
+  List.iter
+    (fun (exit_id, exit_bi, off) ->
+      match off with
+      | None ->
+        (* Final node: everything must be committed by its row. *)
+        List.iter
+          (fun (id, _, _) -> add_edge id exit_id 0)
+          data_nodes;
+        List.iter
+          (fun (id, _, _) -> if id <> exit_id then add_edge id exit_id 1)
+          control_nodes
+      | Some off_label ->
+        let live_off = Liveness.live_in live off_label in
+        let pinned op =
+          is_store op
+          ||
+          match Ir.defs op with
+          | Some d -> Liveness.VSet.mem d live_off
+          | None -> false
+        in
+        List.iter
+          (fun (id, op, bi) ->
+            if bi > exit_bi && pinned op then
+              (* May not speculate above the exit. *)
+              add_edge exit_id id 1
+            else if bi <= exit_bi && pinned op then
+              (* Must commit no later than the exit row. *)
+              add_edge id exit_id 0)
+          data_nodes)
+    control_nodes;
+  (Array.of_list (List.rev !nodes), List.rev !edges)
+
+(* ------------------------------------------------------------------ *)
+(* Region scheduling: list scheduling with at most one control node per
+   row in addition to [width] data operations.                         *)
+
+let schedule_region nodes edges ~width =
+  let n = Array.length nodes in
+  let preds_cnt = Array.make n 0 in
+  let succs = Array.make n [] in
+  List.iter
+    (fun e ->
+      preds_cnt.(e.dst) <- preds_cnt.(e.dst) + 1;
+      succs.(e.src) <- e :: succs.(e.src))
+    edges;
+  (* Heights for priority. *)
+  let heights = Array.make n 0 in
+  let rec height i =
+    if heights.(i) > 0 then heights.(i)
+    else begin
+      let h =
+        List.fold_left
+          (fun acc e -> max acc (e.latency + height e.dst))
+          0 succs.(i)
+      in
+      heights.(i) <- h;
+      h
+    end
+  in
+  for i = 0 to n - 1 do
+    ignore (height i)
+  done;
+  let is_control i =
+    match nodes.(i) with
+    | Exit _ | Final _ -> true
+    | Data _ -> false
+  in
+  let row_of = Array.make n (-1) in
+  let earliest = Array.make n 0 in
+  let remaining = Array.copy preds_cnt in
+  let scheduled = ref 0 in
+  let rows = ref [] in
+  let cycle = ref 0 in
+  while !scheduled < n do
+    let ready =
+      List.init n Fun.id
+      |> List.filter (fun i ->
+           row_of.(i) < 0 && remaining.(i) = 0 && earliest.(i) <= !cycle)
+      |> List.sort (fun a b ->
+           match compare heights.(b) heights.(a) with
+           | 0 -> compare a b
+           | c -> c)
+    in
+    let data_left = ref width and control_left = ref 1 in
+    let chosen =
+      List.filter
+        (fun i ->
+          if is_control i then
+            if !control_left > 0 then (decr control_left; true) else false
+          else if !data_left > 0 then (decr data_left; true)
+          else false)
+        ready
+    in
+    List.iter
+      (fun i ->
+        row_of.(i) <- !cycle;
+        incr scheduled;
+        List.iter
+          (fun e ->
+            remaining.(e.dst) <- remaining.(e.dst) - 1;
+            earliest.(e.dst) <- max earliest.(e.dst) (!cycle + e.latency))
+          succs.(i))
+      chosen;
+    rows := chosen :: !rows;
+    incr cycle
+  done;
+  let rows = Array.of_list (List.rev !rows) in
+  (* Trim trailing empty rows. *)
+  let last = ref (Array.length rows - 1) in
+  while !last > 0 && rows.(!last) = [] do
+    decr last
+  done;
+  (Array.sub rows 0 (!last + 1), row_of)
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                            *)
+
+let emit_region builder reg_of nodes rows =
+  (* Track the FU slot assigned to each data node as rows are emitted,
+     so exits can reference the condition code their compare set. *)
+  let slot_of = Hashtbl.create 17 in
+  Array.iter
+    (fun row ->
+      let datas =
+        List.filter
+          (fun i ->
+            match nodes.(i) with Data _ -> true | Exit _ | Final _ -> false)
+          row
+      in
+      List.iteri (fun slot i -> Hashtbl.replace slot_of i slot) datas;
+      let control =
+        List.find_opt
+          (fun i ->
+            match nodes.(i) with
+            | Exit _ | Final _ -> true
+            | Data _ -> false)
+          row
+      in
+      let ctl =
+        match control with
+        | None -> B.goto B.next
+        | Some i -> (
+          match nodes.(i) with
+          | Data _ -> assert false
+          | Exit { cmp; on_trace_is_t1; off; _ } ->
+            let slot = Hashtbl.find slot_of cmp in
+            if on_trace_is_t1 then B.if_cc slot B.next (B.lbl off)
+            else B.if_cc slot (B.lbl off) B.next
+          | Final (term, cmp) -> (
+            match term with
+            | Ir.Return -> B.halt
+            | Ir.Jump l -> B.goto (B.lbl l)
+            | Ir.Branch (_, t1, t2) ->
+              let slot =
+                match cmp with
+                | Some c -> Hashtbl.find slot_of c
+                | None -> assert false
+              in
+              B.if_cc slot (B.lbl t1) (B.lbl t2)))
+      in
+      let specs =
+        List.map
+          (fun i ->
+            match nodes.(i) with
+            | Data { op; _ } -> B.d (Codegen.data_of_op reg_of op)
+            | Exit _ | Final _ -> assert false)
+          datas
+      in
+      B.row builder ~ctl specs)
+    rows
+
+let compile ?(width = 8) ?(prob = []) (func : Ir.func) =
+  match Ir.validate func with
+  | Error errors -> Error errors
+  | Ok () -> (
+    match Regalloc.trivial func with
+    | Error msg -> Error [ "register allocation: " ^ msg ]
+    | Ok assignment -> (
+      let trace = select_trace ~prob func in
+      match trace with
+      | [] -> Error [ "empty function" ]
+      | head :: _ -> (
+        match build_region func trace ~prob with
+        | exception Invalid_argument msg -> Error [ msg ]
+        | nodes, edges ->
+          let rows, _ = schedule_region nodes edges ~width in
+          let builder = B.create ~n_fus:width in
+          B.label builder head;
+          emit_region builder assignment.reg_of nodes rows;
+          (* Off-trace blocks, block at a time. *)
+          List.iter
+            (fun (b : Ir.block) ->
+              if not (List.mem b.label trace) then
+                Codegen.emit_block builder assignment.reg_of ~width b)
+            func.blocks;
+          let program = B.build builder in
+          let blockwise_rows =
+            List.fold_left
+              (fun acc label ->
+                match Ir.block_named func label with
+                | Some b -> acc + Codegen.block_rows ~width b
+                | None -> acc)
+              0 trace
+          in
+          Ok
+            { compiled =
+                { Codegen.program;
+                  width;
+                  param_regs =
+                    List.map
+                      (fun v -> (v, assignment.reg_of v))
+                      func.params;
+                  result_regs =
+                    List.map
+                      (fun v -> (v, assignment.reg_of v))
+                      func.results;
+                  static_rows = Ximd_core.Program.length program;
+                  used_regs = assignment.used };
+              trace;
+              region_rows = Array.length rows;
+              blockwise_rows })))

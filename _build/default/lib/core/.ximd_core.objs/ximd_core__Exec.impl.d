@@ -1,0 +1,1 @@
+lib/core/exec.ml: Array Cond Int32 List Opcode Operand Parcel State Value Ximd_isa Ximd_machine

@@ -1,0 +1,1 @@
+lib/core/exec.mli: Cond Parcel State Ximd_isa

@@ -1,0 +1,1 @@
+lib/core/partition.ml: Array Format Fun Int List Option Printf String Ximd_isa

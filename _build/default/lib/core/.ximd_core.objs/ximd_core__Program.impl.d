@@ -1,0 +1,1 @@
+lib/core/program.ml: Array Buffer Bytes Cond Config Control Encode Format Int32 List Parcel Printf Result String Sync Ximd_isa

@@ -1,0 +1,1 @@
+lib/core/program.mli: Config Format Parcel Ximd_isa

@@ -1,0 +1,1 @@
+lib/core/state.ml: Array Config Fun List Partition Program Reg Stats String Sync Value Ximd_isa Ximd_machine

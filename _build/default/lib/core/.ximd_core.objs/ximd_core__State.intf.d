@@ -1,0 +1,1 @@
+lib/core/state.mli: Config Partition Program Reg Stats Sync Value Ximd_isa Ximd_machine

@@ -1,0 +1,1 @@
+lib/core/t500.mli: Program Run State Tracer

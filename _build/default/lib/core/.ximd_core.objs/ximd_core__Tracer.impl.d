@@ -1,0 +1,1 @@
+lib/core/tracer.ml: Array Format List Partition Printf State String Sync Ximd_isa

@@ -1,0 +1,1 @@
+lib/core/vsim.ml: Array Cond Control Exec Program Run State Tracer Ximd_isa Ximd_machine

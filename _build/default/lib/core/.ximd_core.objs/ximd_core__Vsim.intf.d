@@ -1,0 +1,1 @@
+lib/core/vsim.mli: Run State Tracer

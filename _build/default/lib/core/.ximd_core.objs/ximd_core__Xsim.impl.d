@@ -1,0 +1,1 @@
+lib/core/xsim.ml: Array Cond Control Exec List Parcel Partition Program Run State Sync Tracer Ximd_isa Ximd_machine

@@ -1,0 +1,1 @@
+lib/core/xsim.mli: Run State Tracer

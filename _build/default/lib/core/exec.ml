@@ -1,0 +1,131 @@
+open Ximd_isa
+module M = Ximd_machine
+
+type cc_update = { fu : int; value : bool }
+
+let eval_cond (state : State.t) ~fu cond =
+  let cc j =
+    match state.ccs.(j) with
+    | Some b -> b
+    | None ->
+      M.Hazard.report state.log ~cycle:state.cycle
+        (M.Hazard.Undefined_cc { cc = j; fu });
+      false
+  in
+  let ss j = state.sss.(j) in
+  Cond.eval cond ~cc ~ss
+
+let operand_value (state : State.t) = function
+  | Operand.Reg r -> M.Regfile.read state.regs r
+  | Operand.Imm v -> v
+
+(* Register/memory results commit at the end of cycle
+   [issue + result_latency - 1]; latency 1 (the research model) stages
+   directly into this cycle's commit. *)
+let defer (state : State.t) deferred =
+  let due = state.cycle + state.config.result_latency - 1 in
+  state.in_flight <- (due, deferred) :: state.in_flight
+
+let stage_reg_write (state : State.t) ~fu reg value =
+  if state.config.result_latency = 1 then
+    M.Regfile.stage_write state.regs ~fu reg value
+  else defer state (State.Dreg { fu; reg; value })
+
+let stage_mem_write (state : State.t) ~fu addr value =
+  if state.config.result_latency = 1 then
+    M.Memory.stage_write state.mem ~fu ~cycle:state.cycle ~log:state.log addr
+      value
+  else defer state (State.Dmem { fu; addr; value })
+
+let exec_data (state : State.t) ~fu (data : Parcel.data) =
+  let stats = state.stats in
+  let value = operand_value state in
+  let stage_reg d v = stage_reg_write state ~fu d v in
+  let count_int () = stats.int_ops <- stats.int_ops + 1 in
+  let count_float () = stats.float_ops <- stats.float_ops + 1 in
+  if not (Parcel.is_nop data) then stats.data_ops <- stats.data_ops + 1;
+  match data with
+  | Parcel.Dnop ->
+    stats.nops <- stats.nops + 1;
+    None
+  | Parcel.Dbin { op; a; b; d } ->
+    if Opcode.binop_is_float op then count_float () else count_int ();
+    let result =
+      match M.Alu.eval_bin op (value a) (value b) with
+      | Ok v -> v
+      | Error M.Alu.Division_by_zero ->
+        M.Hazard.report state.log ~cycle:state.cycle
+          (M.Hazard.Div_by_zero { fu });
+        Value.zero
+    in
+    stage_reg d result;
+    None
+  | Parcel.Dun { op; a; d } ->
+    if Opcode.unop_is_float op then count_float () else count_int ();
+    stage_reg d (M.Alu.eval_un op (value a));
+    None
+  | Parcel.Dcmp { op; a; b } ->
+    stats.cmp_ops <- stats.cmp_ops + 1;
+    if Opcode.cmpop_is_float op then count_float () else count_int ();
+    Some { fu; value = M.Alu.eval_cmp op (value a) (value b) }
+  | Parcel.Dload { a; b; d } ->
+    stats.mem_ops <- stats.mem_ops + 1;
+    let addr =
+      Int32.to_int (Int32.add (Value.to_int32 (value a))
+                      (Value.to_int32 (value b)))
+    in
+    stage_reg d
+      (M.Memory.read state.mem ~fu ~cycle:state.cycle ~log:state.log addr);
+    None
+  | Parcel.Dstore { a; b } ->
+    stats.mem_ops <- stats.mem_ops + 1;
+    let addr = Int32.to_int (Value.to_int32 (value b)) in
+    stage_mem_write state ~fu addr (value a);
+    None
+  | Parcel.Din { port; d } ->
+    stats.io_ops <- stats.io_ops + 1;
+    let port = Int32.to_int (Value.to_int32 (value port)) in
+    stage_reg d
+      (M.Ioport.read state.io ~fu ~cycle:state.cycle ~log:state.log port);
+    None
+  | Parcel.Dout { a; port } ->
+    stats.io_ops <- stats.io_ops + 1;
+    let port = Int32.to_int (Value.to_int32 (value port)) in
+    M.Ioport.write state.io ~fu ~cycle:state.cycle ~log:state.log port
+      (value a);
+    None
+
+(* Move pipeline results whose write-back stage is this cycle into the
+   commit stage. *)
+let flush_due (state : State.t) =
+  if state.in_flight <> [] then begin
+    let due, later =
+      List.partition (fun (when_, _) -> when_ <= state.cycle) state.in_flight
+    in
+    state.in_flight <- later;
+    (* Oldest first, so two in-flight writes to one register commit in
+       issue order (still a hazard if they land the same cycle). *)
+    List.iter
+      (fun (_, deferred) ->
+        match deferred with
+        | State.Dreg { fu; reg; value } ->
+          M.Regfile.stage_write state.regs ~fu reg value
+        | State.Dmem { fu; addr; value } ->
+          M.Memory.stage_write state.mem ~fu ~cycle:state.cycle
+            ~log:state.log addr value)
+      (List.rev due)
+  end
+
+let commit_cycle (state : State.t) cc_updates =
+  flush_due state;
+  M.Regfile.commit state.regs ~cycle:state.cycle ~log:state.log;
+  M.Memory.commit state.mem ~cycle:state.cycle ~log:state.log;
+  List.iter (fun { fu; value } -> state.ccs.(fu) <- Some value) cc_updates
+
+(* Drain the datapath pipeline after the last FU halts: remaining
+   results commit in issue order over the following "cycles". *)
+let drain_pipeline (state : State.t) =
+  while state.in_flight <> [] do
+    state.cycle <- state.cycle + 1;
+    commit_cycle state []
+  done

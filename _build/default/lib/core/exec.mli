@@ -1,0 +1,31 @@
+(** Shared execution engine for one cycle's data operations.
+
+    Both simulators (XIMD {!Xsim} and the VLIW baseline {!Vsim}) use this
+    module: they differ only in their control paths.  All reads observe
+    start-of-cycle state; all writes (registers, memory, condition codes)
+    are staged and applied by {!commit_cycle}. *)
+
+open Ximd_isa
+
+type cc_update = { fu : int; value : bool }
+
+val eval_cond : State.t -> fu:int -> Cond.t -> bool
+(** Evaluates a branch condition against the start-of-cycle CC/SS state.
+    Branching on a never-set condition code reports
+    {!Ximd_machine.Hazard.Undefined_cc} and evaluates it as [false]. *)
+
+val exec_data : State.t -> fu:int -> Parcel.data -> cc_update option
+(** Executes one data operation for [fu]: reads operands, stages register
+    and memory writes, performs I/O, updates statistics, and returns the
+    staged condition-code update for compares. *)
+
+val commit_cycle : State.t -> cc_update list -> unit
+(** Commits staged register and memory writes (including in-flight
+    pipelined results whose write-back stage is this cycle) and applies
+    condition-code updates.  Does not advance PCs or the cycle counter —
+    that is the control path's job. *)
+
+val drain_pipeline : State.t -> unit
+(** Commits any still-in-flight pipelined results after all FUs have
+    halted, advancing the cycle counter per write-back stage.  A no-op
+    under the research model's single-cycle latency. *)

@@ -1,0 +1,12 @@
+type outcome =
+  | Halted of { cycles : int }
+  | Fuel_exhausted of { cycles : int }
+
+let cycles = function Halted { cycles } | Fuel_exhausted { cycles } -> cycles
+
+let completed = function Halted _ -> true | Fuel_exhausted _ -> false
+
+let pp fmt = function
+  | Halted { cycles } -> Format.fprintf fmt "halted after %d cycles" cycles
+  | Fuel_exhausted { cycles } ->
+    Format.fprintf fmt "fuel exhausted after %d cycles" cycles

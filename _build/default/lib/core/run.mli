@@ -1,0 +1,11 @@
+(** Run outcomes shared by the XIMD and VLIW simulators. *)
+
+type outcome =
+  | Halted of { cycles : int }
+      (** every functional unit executed a halt *)
+  | Fuel_exhausted of { cycles : int }
+      (** the configured [max_cycles] elapsed first *)
+
+val cycles : outcome -> int
+val completed : outcome -> bool
+val pp : Format.formatter -> outcome -> unit

@@ -1,0 +1,63 @@
+open Ximd_isa
+
+type deferred =
+  | Dreg of { fu : int; reg : Reg.t; value : Value.t }
+  | Dmem of { fu : int; addr : int; value : Value.t }
+
+type t = {
+  config : Config.t;
+  program : Program.t;
+  regs : Ximd_machine.Regfile.t;
+  mem : Ximd_machine.Memory.t;
+  io : Ximd_machine.Ioport.t;
+  log : Ximd_machine.Hazard.log;
+  stats : Stats.t;
+  mutable cycle : int;
+  pcs : int array;
+  ccs : bool option array;
+  sss : Sync.t array;
+  halted : bool array;
+  mutable partition : Partition.t;
+  mutable in_flight : (int * deferred) list;
+}
+
+let create ?(config = Config.default) program =
+  (match Program.validate program config with
+   | Ok () -> ()
+   | Error errors ->
+     invalid_arg
+       ("State.create: invalid program:\n" ^ String.concat "\n" errors));
+  let n = config.n_fus in
+  { config;
+    program;
+    regs = Ximd_machine.Regfile.create ();
+    mem =
+      Ximd_machine.Memory.create ~organisation:config.mem_organisation
+        ~words:config.mem_words ();
+    io = Ximd_machine.Ioport.create ~n_ports:config.n_ports ();
+    log = Ximd_machine.Hazard.create_log config.hazard_policy;
+    stats = Stats.create ();
+    cycle = 0;
+    pcs = Array.make n 0;
+    ccs = Array.make n None;
+    sss = Array.make n Sync.Busy;
+    halted = Array.make n false;
+    partition = Partition.initial ~n;
+    in_flight = [] }
+
+let n_fus t = t.config.n_fus
+let all_halted t = Array.for_all Fun.id t.halted
+
+let live_fus t =
+  List.filter (fun fu -> not t.halted.(fu)) (List.init (n_fus t) Fun.id)
+
+let cc t i = t.ccs.(i)
+let ss t i = t.sss.(i)
+let pc t i = t.pcs.(i)
+
+let reg t i = Ximd_machine.Regfile.read t.regs (Reg.make i)
+let set_reg t i v = Ximd_machine.Regfile.set t.regs (Reg.make i) v
+let mem_get t addr = Ximd_machine.Memory.get t.mem addr
+let mem_set t addr v = Ximd_machine.Memory.set t.mem addr v
+
+let hazards t = Ximd_machine.Hazard.events t.log

@@ -1,0 +1,58 @@
+(** Complete machine state.
+
+    Bundles the data path (register file, memory, I/O ports), the control
+    path state (one PC, one condition code and one synchronisation signal
+    per FU — the paper's [S_i], [sd_i]/[CC_i] and [SS_i]), the hazard log
+    and statistics.
+
+    Condition codes start undefined (Figure 10 prints them as [X]) and
+    become defined when a compare executes on that FU.  Synchronisation
+    signals start at BUSY. *)
+
+open Ximd_isa
+
+type deferred =
+  | Dreg of { fu : int; reg : Reg.t; value : Value.t }
+  | Dmem of { fu : int; addr : int; value : Value.t }
+
+type t = {
+  config : Config.t;
+  program : Program.t;
+  regs : Ximd_machine.Regfile.t;
+  mem : Ximd_machine.Memory.t;
+  io : Ximd_machine.Ioport.t;
+  log : Ximd_machine.Hazard.log;
+  stats : Stats.t;
+  mutable cycle : int;
+  pcs : int array;
+  ccs : bool option array;     (** [None] = never set ([X] in traces) *)
+  sss : Sync.t array;
+  halted : bool array;
+  mutable partition : Partition.t;
+  mutable in_flight : (int * deferred) list;
+      (** pipelined datapath results not yet committed, tagged with the
+          cycle whose end they commit at (empty when
+          [config.result_latency = 1]) *)
+}
+
+val create : ?config:Config.t -> Program.t -> t
+(** Fresh state at cycle 0, all PCs at address 0, single-SSET partition.
+    @raise Invalid_argument if {!Program.validate} rejects the program
+    under [config]. *)
+
+val n_fus : t -> int
+val all_halted : t -> bool
+val live_fus : t -> int list
+
+val cc : t -> int -> bool option
+val ss : t -> int -> Sync.t
+val pc : t -> int -> int
+
+val reg : t -> int -> Value.t
+(** Convenience register read by index. *)
+
+val set_reg : t -> int -> Value.t -> unit
+val mem_get : t -> int -> Value.t
+val mem_set : t -> int -> Value.t -> unit
+
+val hazards : t -> Ximd_machine.Hazard.event list

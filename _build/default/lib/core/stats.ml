@@ -1,0 +1,42 @@
+type t = {
+  mutable cycles : int;
+  mutable data_ops : int;
+  mutable nops : int;
+  mutable halted_slots : int;
+  mutable int_ops : int;
+  mutable float_ops : int;
+  mutable mem_ops : int;
+  mutable io_ops : int;
+  mutable cmp_ops : int;
+  mutable cond_branches : int;
+  mutable spin_slots : int;
+  mutable max_streams : int;
+}
+
+let create () =
+  { cycles = 0; data_ops = 0; nops = 0; halted_slots = 0; int_ops = 0;
+    float_ops = 0; mem_ops = 0; io_ops = 0; cmp_ops = 0; cond_branches = 0;
+    spin_slots = 0; max_streams = 0 }
+
+let copy t = { t with cycles = t.cycles }
+
+let utilisation t ~n_fus =
+  if t.cycles = 0 then 0.
+  else float_of_int t.data_ops /. float_of_int (t.cycles * n_fus)
+
+let ops_per_second ops ~cycle_ns cycles =
+  if cycles = 0 then 0.
+  else float_of_int ops /. (float_of_int cycles *. cycle_ns *. 1e-9)
+
+let mips t ~cycle_ns = ops_per_second t.data_ops ~cycle_ns t.cycles /. 1e6
+let mflops t ~cycle_ns = ops_per_second t.float_ops ~cycle_ns t.cycles /. 1e6
+
+let peak_mips ~n_fus ~cycle_ns = float_of_int n_fus /. (cycle_ns *. 1e-3)
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>cycles: %d@,data ops: %d (int %d, float %d, mem %d, io %d, cmp %d)@,\
+     nops: %d  halted slots: %d  spin slots: %d@,\
+     conditional branches: %d  max streams: %d@]"
+    t.cycles t.data_ops t.int_ops t.float_ops t.mem_ops t.io_ops t.cmp_ops
+    t.nops t.halted_slots t.spin_slots t.cond_branches t.max_streams

@@ -1,0 +1,42 @@
+(** Execution statistics.
+
+    Collected per run; used for the XIMD-vs-VLIW comparison (paper §4.1)
+    and the prototype performance projection (§4.3: 85 ns cycle time,
+    "peak performance in excess of 90 MIPS/90 MFLOPS"). *)
+
+type t = {
+  mutable cycles : int;
+  mutable data_ops : int;      (** non-nop data operations executed *)
+  mutable nops : int;          (** nop slots on live FUs *)
+  mutable halted_slots : int;  (** FU-cycles spent halted *)
+  mutable int_ops : int;
+  mutable float_ops : int;
+  mutable mem_ops : int;
+  mutable io_ops : int;
+  mutable cmp_ops : int;
+  mutable cond_branches : int; (** conditional control operations executed *)
+  mutable spin_slots : int;    (** FU-cycles spent busy-waiting: a
+                                   conditional branch that re-selected the
+                                   FU's current address *)
+  mutable max_streams : int;   (** max simultaneous SSET count observed *)
+}
+
+val create : unit -> t
+val copy : t -> t
+
+val utilisation : t -> n_fus:int -> float
+(** Fraction of FU-cycle slots that performed a (non-nop) data
+    operation.  Spin slots are tracked separately in [spin_slots]; a
+    busy-wait cycle usually executes a nop data op and so already counts
+    against utilisation. *)
+
+val mips : t -> cycle_ns:float -> float
+(** Achieved MIPS: data operations per second of simulated time at the
+    given cycle time. *)
+
+val mflops : t -> cycle_ns:float -> float
+
+val peak_mips : n_fus:int -> cycle_ns:float -> float
+(** The §4.3 projection: every FU completes one operation per cycle. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,27 @@
+(** The Multiflow TRACE/500 two-sequencer model (paper §1.4).
+
+    "The proposed Multiflow TRACE/500 architecture contains two
+    sequencers, one for each set of 14 functional units.  The two
+    sequencers can execute in lock-step or independently.  This allows
+    two processes to run concurrently when neither requires more than
+    half of the machine.  XIMD is a generalization and formalization of
+    this concept."
+
+    This simulator restricts the machine to exactly two instruction
+    streams: the FUs split into two fixed banks (low half and high
+    half), each driven by the control fields of its leader FU (FU 0 and
+    FU n/2).  Programs must be {e bank-consistent} — within each row,
+    every parcel of a bank carries the bank leader's control fields —
+    which is precisely the structural restriction XIMD lifts: a program
+    like MINMAX, whose partition holds three SSETs, is rejected here but
+    runs on {!Xsim} unchanged. *)
+
+val bank_consistent : Program.t -> bool
+(** Whether every row's parcels agree with their bank leader's control
+    fields and sync signal. *)
+
+val step : ?tracer:Tracer.t -> State.t -> unit
+
+val run : ?tracer:Tracer.t -> State.t -> Run.outcome
+(** @raise Invalid_argument if the machine has fewer than 2 or an odd
+    number of FUs, or the program is not bank-consistent. *)

@@ -1,0 +1,35 @@
+(** Address traces.
+
+    Records the per-cycle control state in the format of the paper's
+    Figure 10: the address each FU executes from, the condition-code
+    register contents "as they exist at the beginning of each cycle", and
+    the partition in each cycle. *)
+
+open Ximd_isa
+
+type row = {
+  cycle : int;
+  pcs : int option array;      (** [None] = FU halted *)
+  ccs : bool option array;     (** start-of-cycle values; [None] = X *)
+  sss : Sync.t array;
+  partition : Partition.t;
+}
+
+type t
+
+val create : unit -> t
+val record : t -> row -> unit
+val rows : t -> row list
+val length : t -> int
+
+val snapshot : State.t -> row
+(** Captures the start-of-cycle state of a machine. *)
+
+val cc_string : bool option array -> string
+(** Figure 10 condition-code column, e.g. ["TTFX"]. *)
+
+val pp_row : Format.formatter -> row -> unit
+
+val pp_figure10 : ?comments:(int * string) list -> Format.formatter -> t -> unit
+(** Prints the whole trace as a Figure 10 style table.  [comments] maps
+    cycle numbers to the table's "Comment" column. *)

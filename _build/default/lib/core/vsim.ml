@@ -1,0 +1,76 @@
+open Ximd_isa
+module M = Ximd_machine
+
+(* The whole machine halts together, so FU 0's halted flag stands for
+   all of them; State.create starts everything live and in one SSET. *)
+
+let halt_all (state : State.t) =
+  Array.fill state.halted 0 (State.n_fus state) true
+
+let step ?tracer (state : State.t) =
+  if State.all_halted state then ()
+  else begin
+    (match tracer with
+     | Some t -> Tracer.record t (Tracer.snapshot state)
+     | None -> ());
+    let n = State.n_fus state in
+    let stats = state.stats in
+    let pc = state.pcs.(0) in
+    if pc < 0 || pc >= Program.length state.program then begin
+      M.Hazard.report state.log ~cycle:state.cycle
+        (M.Hazard.Fell_off_end { fu = 0; addr = pc });
+      halt_all state
+    end
+    else begin
+      let row = Program.row state.program pc in
+      let control = row.(0).control in
+      (* Branch evaluation first, against start-of-cycle state. *)
+      let taken =
+        match control with
+        | Control.Halt -> false
+        | Control.Branch { cond; _ } -> Exec.eval_cond state ~fu:0 cond
+      in
+      let cc_updates = ref [] in
+      for fu = 0 to n - 1 do
+        match Exec.exec_data state ~fu row.(fu).data with
+        | Some update -> cc_updates := update :: !cc_updates
+        | None -> ()
+      done;
+      Exec.commit_cycle state !cc_updates;
+      (match control with
+       | Control.Halt -> halt_all state
+       | Control.Branch { cond; _ } ->
+         if not (Cond.is_unconditional cond) then
+           stats.cond_branches <- stats.cond_branches + 1;
+         (match Control.resolve control ~pc ~taken with
+          | Some next ->
+            if next = pc && not (Cond.is_unconditional cond) then
+              stats.spin_slots <- stats.spin_slots + 1;
+            Array.fill state.pcs 0 n next
+          | None -> assert false));
+      if stats.max_streams < 1 then stats.max_streams <- 1;
+      state.cycle <- state.cycle + 1;
+      stats.cycles <- state.cycle
+    end
+  end
+
+let run ?tracer (state : State.t) =
+  if not (Program.control_consistent state.program) then
+    invalid_arg
+      "Vsim.run: program is not control-consistent (VLIW programs must \
+       duplicate the control fields in every parcel of a row)";
+  let fuel = state.config.max_cycles in
+  let rec loop () =
+    if State.all_halted state then begin
+      Exec.drain_pipeline state;
+      state.stats.cycles <- state.cycle;
+      Run.Halted { cycles = state.cycle }
+    end
+    else if state.cycle >= fuel then
+      Run.Fuel_exhausted { cycles = state.cycle }
+    else begin
+      step ?tracer state;
+      loop ()
+    end
+  in
+  loop ()

@@ -1,0 +1,16 @@
+(** The VLIW baseline simulator — the paper's companion `vsim` (§4.1):
+    "a VLIW processor with similar characteristics".
+
+    Identical datapath to {!Xsim} but a single global sequencer: all FUs
+    share one program counter and one control operation per cycle.  The
+    control fields of FU 0's parcel drive the sequencer; programs must be
+    control-consistent (every parcel in a row carries identical control
+    fields — the VLIW coding convention of paper §3.1), which {!run}
+    enforces.
+
+    Synchronisation signals have no architectural role on a VLIW; their
+    fields are ignored.  The partition is always the single full SSET. *)
+
+val step : ?tracer:Tracer.t -> State.t -> unit
+val run : ?tracer:Tracer.t -> State.t -> Run.outcome
+(** @raise Invalid_argument if the program is not control-consistent. *)

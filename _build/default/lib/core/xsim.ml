@@ -1,0 +1,106 @@
+open Ximd_isa
+module M = Ximd_machine
+
+(* One cycle of the XIMD machine.  All reads observe start-of-cycle
+   state; all writes commit at the end (paper §2.2, verified against the
+   Figure 10 trace — see DESIGN.md §5). *)
+let step ?tracer (state : State.t) =
+  if State.all_halted state then ()
+  else begin
+    (match tracer with
+     | Some t -> Tracer.record t (Tracer.snapshot state)
+     | None -> ());
+    let n = State.n_fus state in
+    let stats = state.stats in
+    (* Fetch.  A live FU whose PC is outside the program has fallen off
+       the end: report and treat as a halt parcel. *)
+    let parcels =
+      Array.init n (fun fu ->
+        if state.halted.(fu) then Parcel.halted
+        else
+          match Program.fetch state.program ~fu ~addr:state.pcs.(fu) with
+          | Some p -> p
+          | None ->
+            M.Hazard.report state.log ~cycle:state.cycle
+              (M.Hazard.Fell_off_end { fu; addr = state.pcs.(fu) });
+            Parcel.halted)
+    in
+    let was_live = Array.map not state.halted in
+    (* Branch-condition evaluation against start-of-cycle CC/SS. *)
+    let taken =
+      Array.init n (fun fu ->
+        if not was_live.(fu) then false
+        else
+          match parcels.(fu).control with
+          | Control.Halt -> false
+          | Control.Branch { cond; _ } -> Exec.eval_cond state ~fu cond)
+    in
+    (* Data operations. *)
+    let cc_updates = ref [] in
+    for fu = 0 to n - 1 do
+      if was_live.(fu) then begin
+        match Exec.exec_data state ~fu parcels.(fu).data with
+        | Some update -> cc_updates := update :: !cc_updates
+        | None -> ()
+      end
+      else stats.halted_slots <- stats.halted_slots + 1
+    done;
+    Exec.commit_cycle state !cc_updates;
+    (* Control commit: sync signals, next PCs, halts; spin and branch
+       statistics. *)
+    let old_pcs = Array.copy state.pcs in
+    for fu = 0 to n - 1 do
+      if was_live.(fu) then begin
+        match parcels.(fu).control with
+        | Control.Halt ->
+          state.halted.(fu) <- true;
+          (* A finished stream reads as DONE (DESIGN.md §5). *)
+          state.sss.(fu) <- Sync.Done
+        | Control.Branch { cond; _ } as control ->
+          state.sss.(fu) <- parcels.(fu).sync;
+          if not (Cond.is_unconditional cond) then
+            stats.cond_branches <- stats.cond_branches + 1;
+          let pc = state.pcs.(fu) in
+          (match Control.resolve control ~pc ~taken:taken.(fu) with
+           | Some next ->
+             if next = pc && not (Cond.is_unconditional cond) then
+               stats.spin_slots <- stats.spin_slots + 1;
+             state.pcs.(fu) <- next
+           | None -> assert false)
+      end
+    done;
+    (* Partition update from the executed control signatures. *)
+    let signatures =
+      Array.init n (fun fu ->
+        if was_live.(fu) then
+          Control.normalised_signature parcels.(fu).control ~pc:old_pcs.(fu)
+        else Control.Halt)
+    in
+    state.partition <- Partition.of_signatures signatures;
+    let live_streams =
+      List.length
+        (List.filter
+           (List.exists (fun fu -> not state.halted.(fu)))
+           (Partition.ssets state.partition))
+    in
+    if live_streams > stats.max_streams then stats.max_streams <- live_streams;
+    state.cycle <- state.cycle + 1;
+    stats.cycles <- state.cycle
+  end
+
+let run ?tracer (state : State.t) =
+  let fuel = state.config.max_cycles in
+  let rec loop () =
+    if State.all_halted state then begin
+      Exec.drain_pipeline state;
+      state.stats.cycles <- state.cycle;
+      Run.Halted { cycles = state.cycle }
+    end
+    else if state.cycle >= fuel then
+      Run.Fuel_exhausted { cycles = state.cycle }
+    else begin
+      step ?tracer state;
+      loop ()
+    end
+  in
+  loop ()

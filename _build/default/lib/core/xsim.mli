@@ -1,0 +1,24 @@
+(** The XIMD cycle-accurate simulator — the paper's `xsim` (§4.1).
+
+    Each cycle, every live functional unit:
+    + fetches the parcel selected by its own program counter;
+    + evaluates its branch condition against the start-of-cycle
+      condition codes and synchronisation signals;
+    + executes its data operation against start-of-cycle register,
+      memory and I/O state;
+    after which all register/memory/CC writes commit, every executing
+    FU's synchronisation signal takes its parcel's value, next PCs are
+    installed, and the partition is recomputed from the executed control
+    operations' normalised signatures (see {!Partition}).
+
+    An FU that executes a [Halt] control stops and its synchronisation
+    signal reads DONE from then on, so barriers spanning finished FUs
+    still complete.  Branching outside the program reports
+    {!Ximd_machine.Hazard.Fell_off_end} and halts the FU. *)
+
+val step : ?tracer:Tracer.t -> State.t -> unit
+(** Executes one cycle (a no-op if all FUs have halted).  When [tracer]
+    is given, the start-of-cycle state is recorded first. *)
+
+val run : ?tracer:Tracer.t -> State.t -> Run.outcome
+(** Steps until all FUs halt or the configured fuel runs out. *)

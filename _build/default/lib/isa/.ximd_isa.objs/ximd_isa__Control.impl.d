@@ -1,0 +1,1 @@
+lib/isa/control.ml: Cond Format Int

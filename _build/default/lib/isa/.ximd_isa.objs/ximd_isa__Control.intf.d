@@ -1,0 +1,1 @@
+lib/isa/control.mli: Cond Format

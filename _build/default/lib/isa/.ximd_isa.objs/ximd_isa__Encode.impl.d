@@ -1,0 +1,1 @@
+lib/isa/encode.ml: Bytes Cond Control Format Int64 List Opcode Operand Parcel Printf Reg Result Sync Value

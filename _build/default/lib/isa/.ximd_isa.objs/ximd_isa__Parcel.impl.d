@@ -1,0 +1,1 @@
+lib/isa/parcel.ml: Control Format List Opcode Operand Reg Sync

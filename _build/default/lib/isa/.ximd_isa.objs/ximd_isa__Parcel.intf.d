@@ -1,0 +1,1 @@
+lib/isa/parcel.mli: Control Format Opcode Operand Reg Sync

@@ -1,0 +1,1 @@
+lib/isa/sync.ml: Format String

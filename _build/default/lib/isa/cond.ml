@@ -1,0 +1,55 @@
+type t =
+  | Always1
+  | Always2
+  | Cc of int
+  | Ss of int
+  | All_ss of int
+  | Any_ss of int
+
+let full_mask n =
+  if n < 0 || n > 30 then invalid_arg "Cond.full_mask"
+  else (1 lsl n) - 1
+
+let mask_of_list fus = List.fold_left (fun m fu -> m lor (1 lsl fu)) 0 fus
+
+let list_of_mask mask =
+  let rec loop i acc =
+    if 1 lsl i > mask then List.rev acc
+    else loop (i + 1) (if mask land (1 lsl i) <> 0 then i :: acc else acc)
+  in
+  loop 0 []
+
+let eval t ~cc ~ss =
+  let done_ j = Sync.equal (ss j) Sync.Done in
+  match t with
+  | Always1 -> true
+  | Always2 -> false
+  | Cc j -> cc j
+  | Ss j -> done_ j
+  | All_ss mask -> List.for_all done_ (list_of_mask mask)
+  | Any_ss mask -> List.exists done_ (list_of_mask mask)
+
+let is_unconditional = function
+  | Always1 | Always2 -> true
+  | Cc _ | Ss _ | All_ss _ | Any_ss _ -> false
+
+let equal a b =
+  match a, b with
+  | Always1, Always1 | Always2, Always2 -> true
+  | Cc i, Cc j | Ss i, Ss j | All_ss i, All_ss j | Any_ss i, Any_ss j ->
+    Int.equal i j
+  | (Always1 | Always2 | Cc _ | Ss _ | All_ss _ | Any_ss _), _ -> false
+
+let pp fmt = function
+  | Always1 -> Format.pp_print_string fmt "always"
+  | Always2 -> Format.pp_print_string fmt "always2"
+  | Cc j -> Format.fprintf fmt "cc%d" j
+  | Ss j -> Format.fprintf fmt "ss%d" j
+  | All_ss mask ->
+    Format.fprintf fmt "all(%s)"
+      (String.concat "," (List.map string_of_int (list_of_mask mask)))
+  | Any_ss mask ->
+    Format.fprintf fmt "any(%s)"
+      (String.concat "," (List.map string_of_int (list_of_mask mask)))
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,44 @@
+(** Branch condition selection criteria.
+
+    Each parcel's control fields include a "condition selection criteria"
+    field that "determines how to combine and evaluate the condition codes
+    and synchronization signals from all of the functional units" (paper
+    §2.2).  The XIMD-1 research model defines:
+
+    - two unconditional operations (always take target 1 / target 2);
+    - branch on one condition code [CC_j == TRUE];
+    - branch on one synchronisation signal [SS_j == DONE];
+    - branch on ALL sync signals ([∏_j (SS_j == DONE)]);
+    - branch on ANY sync signal ([∑_j (SS_j == DONE)]).
+
+    The ALL/ANY forms carry an FU mask so that "synchronizations between
+    only some of the program threads" (§3.3) are expressible; the paper's
+    [∏dn] corresponds to the full mask. *)
+
+type t =
+  | Always1             (** unconditionally take branch target 1 *)
+  | Always2             (** unconditionally take branch target 2 *)
+  | Cc of int           (** [CC_j == TRUE] *)
+  | Ss of int           (** [SS_j == DONE] *)
+  | All_ss of int       (** [∏_{j in mask} (SS_j == DONE)]; bit j of the
+                            mask selects FU j *)
+  | Any_ss of int       (** [∑_{j in mask} (SS_j == DONE)] *)
+
+val full_mask : int -> int
+(** [full_mask n] selects FUs [0 .. n-1]. *)
+
+val mask_of_list : int list -> int
+val list_of_mask : int -> int list
+
+val eval : t -> cc:(int -> bool) -> ss:(int -> Sync.t) -> bool
+(** [eval c ~cc ~ss] decides the condition against the start-of-cycle
+    condition codes and synchronisation signals.  [Always1] is [true]
+    (target 1 taken); [Always2] is [false]. *)
+
+val is_unconditional : t -> bool
+(** True for [Always1]/[Always2]: the outcome does not depend on any
+    run-time state. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

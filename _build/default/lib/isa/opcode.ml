@@ -1,0 +1,100 @@
+type binop =
+  | Iadd | Isub | Imult | Idiv | Imod
+  | And | Or | Xor | Shl | Shr | Sar
+  | Fadd | Fsub | Fmult | Fdiv
+
+type unop =
+  | Mov
+  | Ineg | Not
+  | Fneg
+  | Itof
+  | Ftoi
+
+type cmpop =
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Feq | Fne | Flt | Fle | Fgt | Fge
+
+let all_binops =
+  [ Iadd; Isub; Imult; Idiv; Imod; And; Or; Xor; Shl; Shr; Sar;
+    Fadd; Fsub; Fmult; Fdiv ]
+
+let all_unops = [ Mov; Ineg; Not; Fneg; Itof; Ftoi ]
+
+let all_cmpops = [ Eq; Ne; Lt; Le; Gt; Ge; Feq; Fne; Flt; Fle; Fgt; Fge ]
+
+let binop_to_string = function
+  | Iadd -> "iadd" | Isub -> "isub" | Imult -> "imult" | Idiv -> "idiv"
+  | Imod -> "imod"
+  | And -> "and" | Or -> "or" | Xor -> "xor"
+  | Shl -> "shl" | Shr -> "shr" | Sar -> "sar"
+  | Fadd -> "fadd" | Fsub -> "fsub" | Fmult -> "fmult" | Fdiv -> "fdiv"
+
+let unop_to_string = function
+  | Mov -> "mov" | Ineg -> "ineg" | Not -> "not" | Fneg -> "fneg"
+  | Itof -> "itof" | Ftoi -> "ftoi"
+
+let cmpop_to_string = function
+  | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt"
+  | Ge -> "ge"
+  | Feq -> "feq" | Fne -> "fne" | Flt -> "flt" | Fle -> "fle"
+  | Fgt -> "fgt" | Fge -> "fge"
+
+let table_of to_string all =
+  List.map (fun op -> (to_string op, op)) all
+
+let binop_table = table_of binop_to_string all_binops
+let unop_table = table_of unop_to_string all_unops
+let cmpop_table = table_of cmpop_to_string all_cmpops
+
+let binop_of_string s = List.assoc_opt (String.lowercase_ascii s) binop_table
+let unop_of_string s = List.assoc_opt (String.lowercase_ascii s) unop_table
+let cmpop_of_string s = List.assoc_opt (String.lowercase_ascii s) cmpop_table
+
+let binop_is_float = function
+  | Fadd | Fsub | Fmult | Fdiv -> true
+  | Iadd | Isub | Imult | Idiv | Imod | And | Or | Xor | Shl | Shr | Sar ->
+    false
+
+let unop_is_float = function
+  | Fneg | Itof | Ftoi -> true
+  | Mov | Ineg | Not -> false
+
+let cmpop_is_float = function
+  | Feq | Fne | Flt | Fle | Fgt | Fge -> true
+  | Eq | Ne | Lt | Le | Gt | Ge -> false
+
+let describe_binop = function
+  | Iadd -> "a + b -> d"
+  | Isub -> "a - b -> d"
+  | Imult -> "a * b -> d"
+  | Idiv -> "a / b -> d"
+  | Imod -> "a mod b -> d"
+  | And -> "a & b -> d"
+  | Or -> "a | b -> d"
+  | Xor -> "a ^ b -> d"
+  | Shl -> "a << b -> d"
+  | Shr -> "a >> b -> d (logical)"
+  | Sar -> "a >> b -> d (arithmetic)"
+  | Fadd -> "a +. b -> d"
+  | Fsub -> "a -. b -> d"
+  | Fmult -> "a *. b -> d"
+  | Fdiv -> "a /. b -> d"
+
+let describe_unop = function
+  | Mov -> "a -> d"
+  | Ineg -> "-a -> d"
+  | Not -> "~a -> d"
+  | Fneg -> "-.a -> d"
+  | Itof -> "float(a) -> d"
+  | Ftoi -> "int(a) -> d"
+
+let describe_cmpop op =
+  let sym = function
+    | Eq | Feq -> "==" | Ne | Fne -> "!=" | Lt | Flt -> "<"
+    | Le | Fle -> "<=" | Gt | Fgt -> ">" | Ge | Fge -> ">="
+  in
+  Printf.sprintf "CC_i := (a %s b)" (sym op)
+
+let pp_binop fmt op = Format.pp_print_string fmt (binop_to_string op)
+let pp_unop fmt op = Format.pp_print_string fmt (unop_to_string op)
+let pp_cmpop fmt op = Format.pp_print_string fmt (cmpop_to_string op)

@@ -1,0 +1,66 @@
+(** Data-path opcodes.
+
+    The paper's Figure 7 lists example instructions and promises "the
+    common integer and floating point arithmetic, logical, and compare
+    instructions" (the full set was defined in the unavailable [Wolfe89]
+    xsim manual).  This module defines the complete set used by this
+    reproduction: every opcode the paper's listings use, plus the usual
+    RISC complement.  All operations complete in one cycle (paper §2.2).
+
+    Opcode classes mirror operand arity:
+    - {!binop}: [op a, b, d] computes [d := a op b].
+    - {!unop}: [op a, d] computes [d := op a].
+    - {!cmpop}: [op a, b] sets the executing FU's condition code
+      [CC_i := (a op b)]; no destination.  "Compare operations set or
+      clear the condition code register corresponding to the functional
+      unit which executes the operation" (§2.2).
+
+    Loads ([M(a+b) -> d]), stores ([a -> M(b)]) and I/O port accesses are
+    represented directly in {!Parcel.data}, not here, because their
+    operand shapes differ. *)
+
+type binop =
+  | Iadd | Isub | Imult | Idiv | Imod
+  | And | Or | Xor | Shl | Shr | Sar
+  | Fadd | Fsub | Fmult | Fdiv
+
+type unop =
+  | Mov          (** [d := a] *)
+  | Ineg | Not
+  | Fneg
+  | Itof         (** int -> float conversion *)
+  | Ftoi         (** float -> int conversion (truncating) *)
+
+type cmpop =
+  | Eq | Ne | Lt | Le | Gt | Ge          (** signed integer compares *)
+  | Feq | Fne | Flt | Fle | Fgt | Fge    (** float compares *)
+
+val binop_to_string : binop -> string
+val unop_to_string : unop -> string
+val cmpop_to_string : cmpop -> string
+
+val binop_of_string : string -> binop option
+val unop_of_string : string -> unop option
+val cmpop_of_string : string -> cmpop option
+
+val all_binops : binop list
+val all_unops : unop list
+val all_cmpops : cmpop list
+
+val binop_is_float : binop -> bool
+(** Whether the operation interprets its operands as floats (for
+    statistics: MFLOPS vs MIPS accounting). *)
+
+val cmpop_is_float : cmpop -> bool
+val unop_is_float : unop -> bool
+
+val describe_binop : binop -> string
+(** One-line semantics in the paper's Figure 7 notation, e.g.
+    ["a + b -> d"]. *)
+
+val describe_unop : unop -> string
+val describe_cmpop : cmpop -> string
+
+val pp_binop : Format.formatter -> binop -> unit
+val pp_unop : Format.formatter -> unop -> unit
+val pp_cmpop : Format.formatter -> cmpop -> unit

@@ -1,0 +1,19 @@
+type t =
+  | Reg of Reg.t
+  | Imm of Value.t
+
+let reg i = Reg (Reg.make i)
+let imm c = Imm (Value.of_int c)
+let imm_f f = Imm (Value.of_float f)
+
+let equal x y =
+  match x, y with
+  | Reg a, Reg b -> Reg.equal a b
+  | Imm a, Imm b -> Value.equal a b
+  | Reg _, Imm _ | Imm _, Reg _ -> false
+
+let pp fmt = function
+  | Reg r -> Reg.pp fmt r
+  | Imm v -> Format.fprintf fmt "#%a" Value.pp v
+
+let to_string o = Format.asprintf "%a" pp o

@@ -1,0 +1,22 @@
+(** Source operands.
+
+    "The three operands may be registers or constants" (paper §2.2).
+    Destination operands are always registers ({!Reg.t}); source operands
+    may also be immediate constants, written [#c] in the paper's listings. *)
+
+type t =
+  | Reg of Reg.t
+  | Imm of Value.t
+
+val reg : int -> t
+(** [reg i] is the register operand [r<i>]. *)
+
+val imm : int -> t
+(** [imm c] is the immediate constant [#c]. *)
+
+val imm_f : float -> t
+(** Immediate single-precision float constant. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,16 @@
+type t = Busy | Done
+
+let equal a b =
+  match a, b with
+  | Busy, Busy | Done, Done -> true
+  | Busy, Done | Done, Busy -> false
+
+let to_string = function Busy -> "BUSY" | Done -> "DONE"
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "BUSY" -> Some Busy
+  | "DONE" -> Some Done
+  | _ -> None
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,14 @@
+(** Synchronisation signals.
+
+    Each functional unit broadcasts a two-valued synchronisation signal
+    [SS_i], "arbitrarily named BUSY and DONE" (paper §2.2).  Every
+    instruction parcel carries the value to drive onto the signal during
+    the cycle in which it executes; the driven value becomes visible to
+    all sequencers at the start of the next cycle. *)
+
+type t = Busy | Done
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit

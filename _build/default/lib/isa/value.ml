@@ -1,0 +1,18 @@
+type t = int32
+
+let zero = 0l
+let one = 1l
+let of_int32 v = v
+let to_int32 v = v
+let of_int n = Int32.of_int n
+let to_int v = Int32.to_int v
+let of_float f = Int32.bits_of_float f
+let to_float v = Int32.float_of_bits v
+let truth b = if b then one else zero
+let is_true v = v <> 0l
+let equal = Int32.equal
+let compare = Int32.compare
+let pp fmt v = Format.fprintf fmt "%ld" v
+let pp_hex fmt v = Format.fprintf fmt "0x%08lx" v
+let pp_float fmt v = Format.fprintf fmt "%h" (to_float v)
+let to_string v = Int32.to_string v

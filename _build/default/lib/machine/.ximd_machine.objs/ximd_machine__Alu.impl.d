@@ -1,0 +1,1 @@
+lib/machine/alu.ml: Int32 Opcode Value Ximd_isa

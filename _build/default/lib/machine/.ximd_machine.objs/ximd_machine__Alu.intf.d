@@ -1,0 +1,1 @@
+lib/machine/alu.mli: Opcode Value Ximd_isa

@@ -1,0 +1,1 @@
+lib/machine/hazard.ml: Format List Printexc String Ximd_isa

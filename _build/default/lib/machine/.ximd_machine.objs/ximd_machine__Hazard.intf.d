@@ -1,0 +1,1 @@
+lib/machine/hazard.mli: Format Ximd_isa

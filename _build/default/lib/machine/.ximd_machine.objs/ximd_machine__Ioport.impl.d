@@ -1,0 +1,1 @@
+lib/machine/ioport.ml: Array Hazard List Printf Value Ximd_isa

@@ -1,0 +1,1 @@
+lib/machine/ioport.mli: Hazard Value Ximd_isa

@@ -1,0 +1,1 @@
+lib/machine/memory.ml: Array Hazard List Printf Value Ximd_isa

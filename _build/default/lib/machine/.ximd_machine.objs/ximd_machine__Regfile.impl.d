@@ -1,0 +1,1 @@
+lib/machine/regfile.ml: Array Hazard List Reg Value Ximd_isa

@@ -1,0 +1,1 @@
+lib/machine/regfile.mli: Hazard Reg Value Ximd_isa

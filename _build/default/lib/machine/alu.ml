@@ -1,0 +1,60 @@
+open Ximd_isa
+
+type fault = Division_by_zero
+
+let int_op f a b = Value.of_int32 (f (Value.to_int32 a) (Value.to_int32 b))
+
+let float_op f a b =
+  Value.of_float (f (Value.to_float a) (Value.to_float b))
+
+let shift f a b =
+  let amount = Int32.to_int (Value.to_int32 b) land 31 in
+  Value.of_int32 (f (Value.to_int32 a) amount)
+
+let eval_bin (op : Opcode.binop) a b =
+  match op with
+  | Iadd -> Ok (int_op Int32.add a b)
+  | Isub -> Ok (int_op Int32.sub a b)
+  | Imult -> Ok (int_op Int32.mul a b)
+  | Idiv ->
+    if Value.equal b Value.zero then Error Division_by_zero
+    else Ok (int_op Int32.div a b)
+  | Imod ->
+    if Value.equal b Value.zero then Error Division_by_zero
+    else Ok (int_op Int32.rem a b)
+  | And -> Ok (int_op Int32.logand a b)
+  | Or -> Ok (int_op Int32.logor a b)
+  | Xor -> Ok (int_op Int32.logxor a b)
+  | Shl -> Ok (shift Int32.shift_left a b)
+  | Shr -> Ok (shift Int32.shift_right_logical a b)
+  | Sar -> Ok (shift Int32.shift_right a b)
+  | Fadd -> Ok (float_op ( +. ) a b)
+  | Fsub -> Ok (float_op ( -. ) a b)
+  | Fmult -> Ok (float_op ( *. ) a b)
+  | Fdiv -> Ok (float_op ( /. ) a b)
+
+let eval_un (op : Opcode.unop) a =
+  match op with
+  | Mov -> a
+  | Ineg -> Value.of_int32 (Int32.neg (Value.to_int32 a))
+  | Not -> Value.of_int32 (Int32.lognot (Value.to_int32 a))
+  | Fneg -> Value.of_float (-.Value.to_float a)
+  | Itof -> Value.of_float (Int32.to_float (Value.to_int32 a))
+  | Ftoi -> Value.of_int32 (Int32.of_float (Value.to_float a))
+
+let eval_cmp (op : Opcode.cmpop) a b =
+  let ic f = f (Int32.compare (Value.to_int32 a) (Value.to_int32 b)) 0 in
+  let fc f = f (compare (Value.to_float a) (Value.to_float b)) 0 in
+  match op with
+  | Eq -> ic ( = )
+  | Ne -> ic ( <> )
+  | Lt -> ic ( < )
+  | Le -> ic ( <= )
+  | Gt -> ic ( > )
+  | Ge -> ic ( >= )
+  | Feq -> fc ( = )
+  | Fne -> fc ( <> )
+  | Flt -> fc ( < )
+  | Fle -> fc ( <= )
+  | Fgt -> fc ( > )
+  | Fge -> fc ( >= )

@@ -1,0 +1,63 @@
+type t =
+  | Multiple_reg_write of { reg : Ximd_isa.Reg.t; fus : int list }
+  | Multiple_mem_write of { addr : int; fus : int list }
+  | Mem_out_of_bounds of { addr : int; fu : int }
+  | Div_by_zero of { fu : int }
+  | Undefined_cc of { cc : int; fu : int }
+  | Fell_off_end of { fu : int; addr : int }
+  | Port_out_of_range of { port : int; fu : int }
+
+type event = { cycle : int; hazard : t }
+
+exception Error of event
+
+type policy = Raise | Record
+
+type log = {
+  policy : policy;
+  mutable events : event list;  (* reverse order *)
+  mutable count : int;
+}
+
+let create_log policy = { policy; events = []; count = 0 }
+
+let report log ~cycle hazard =
+  let event = { cycle; hazard } in
+  match log.policy with
+  | Raise -> raise (Error event)
+  | Record ->
+    log.events <- event :: log.events;
+    log.count <- log.count + 1
+
+let events log = List.rev log.events
+let count log = log.count
+let policy log = log.policy
+
+let pp_fus fmt fus =
+  Format.fprintf fmt "FUs %s" (String.concat "," (List.map string_of_int fus))
+
+let pp fmt = function
+  | Multiple_reg_write { reg; fus } ->
+    Format.fprintf fmt "multiple writes to %a by %a" Ximd_isa.Reg.pp reg
+      pp_fus fus
+  | Multiple_mem_write { addr; fus } ->
+    Format.fprintf fmt "multiple writes to M[%d] by %a" addr pp_fus fus
+  | Mem_out_of_bounds { addr; fu } ->
+    Format.fprintf fmt "FU%d accessed out-of-bounds M[%d]" fu addr
+  | Div_by_zero { fu } -> Format.fprintf fmt "FU%d divided by zero" fu
+  | Undefined_cc { cc; fu } ->
+    Format.fprintf fmt "FU%d branched on undefined cc%d" fu cc
+  | Fell_off_end { fu; addr } ->
+    Format.fprintf fmt "FU%d fell off the end of its stream at %02x:" fu addr
+  | Port_out_of_range { port; fu } ->
+    Format.fprintf fmt "FU%d accessed invalid I/O port %d" fu port
+
+let pp_event fmt { cycle; hazard } =
+  Format.fprintf fmt "cycle %d: %a" cycle pp hazard
+
+let to_string t = Format.asprintf "%a" pp t
+
+let () =
+  Printexc.register_printer (function
+    | Error event -> Some (Format.asprintf "Hazard.Error (%a)" pp_event event)
+    | _ -> None)

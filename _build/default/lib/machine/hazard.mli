@@ -1,0 +1,42 @@
+(** Run-time hazards.
+
+    The paper leaves several behaviours undefined — "multiple writes to
+    the same location in one cycle are undefined" (§2.3) — and a faithful
+    simulator must detect them rather than silently pick a semantics.
+    Each hazard records the cycle and the functional units involved.
+    The policy decides whether detection raises or merely records. *)
+
+type t =
+  | Multiple_reg_write of { reg : Ximd_isa.Reg.t; fus : int list }
+      (** two or more FUs wrote the same register in one cycle *)
+  | Multiple_mem_write of { addr : int; fus : int list }
+      (** two or more FUs wrote the same memory word in one cycle *)
+  | Mem_out_of_bounds of { addr : int; fu : int }
+  | Div_by_zero of { fu : int }
+  | Undefined_cc of { cc : int; fu : int }
+      (** a branch condition read a condition code never set by a compare *)
+  | Fell_off_end of { fu : int; addr : int }
+      (** an FU branched past the end of its instruction stream *)
+  | Port_out_of_range of { port : int; fu : int }
+
+type event = { cycle : int; hazard : t }
+
+exception Error of event
+
+type policy =
+  | Raise   (** raise {!Error} on the first hazard *)
+  | Record  (** accumulate hazards in the log and continue with the
+                documented recovery value (see each component) *)
+
+type log
+
+val create_log : policy -> log
+val report : log -> cycle:int -> t -> unit
+val events : log -> event list
+(** Events in occurrence order. *)
+
+val count : log -> int
+val policy : log -> policy
+val pp : Format.formatter -> t -> unit
+val pp_event : Format.formatter -> event -> unit
+val to_string : t -> string

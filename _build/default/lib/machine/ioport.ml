@@ -1,0 +1,69 @@
+open Ximd_isa
+
+type timing =
+  | At of int
+  | After of int
+
+type port = {
+  mutable input : (timing * Value.t) list;
+  mutable last_consumed : int;             (* cycle of previous consumption *)
+  mutable written : (int * Value.t) list;  (* reverse write log *)
+}
+
+type t = port array
+
+let create ?(n_ports = 16) () =
+  if n_ports <= 0 then invalid_arg "Ioport.create";
+  Array.init n_ports (fun _ ->
+    { input = []; last_consumed = 0; written = [] })
+
+let n_ports t = Array.length t
+
+let check t port what =
+  if port < 0 || port >= Array.length t then
+    invalid_arg (Printf.sprintf "Ioport.%s: port %d out of range" what port)
+
+let script t ~port deliveries =
+  check t port "script";
+  List.iter
+    (fun (timing, value) ->
+      (match timing with
+       | At c | After c ->
+         if c < 0 then invalid_arg "Ioport.script: negative delivery time");
+      if Value.equal value Value.zero then
+        invalid_arg "Ioport.script: delivered values must be non-zero")
+    deliveries;
+  t.(port).input <- deliveries;
+  t.(port).last_consumed <- 0
+
+let ready_at port timing =
+  match timing with
+  | At cycle -> cycle
+  | After gap -> port.last_consumed + gap
+
+let read t ~fu ~cycle ~log port_no =
+  if port_no < 0 || port_no >= Array.length t then begin
+    Hazard.report log ~cycle (Hazard.Port_out_of_range { port = port_no; fu });
+    Value.zero
+  end
+  else
+    let port = t.(port_no) in
+    match port.input with
+    | (timing, value) :: rest when cycle >= ready_at port timing ->
+      port.input <- rest;
+      port.last_consumed <- cycle;
+      value
+    | _ -> Value.zero
+
+let write t ~fu ~cycle ~log port_no value =
+  if port_no < 0 || port_no >= Array.length t then
+    Hazard.report log ~cycle (Hazard.Port_out_of_range { port = port_no; fu })
+  else t.(port_no).written <- (cycle, value) :: t.(port_no).written
+
+let output t ~port =
+  check t port "output";
+  List.rev t.(port).written
+
+let pending t ~port =
+  check t port "pending";
+  List.length t.(port).input

@@ -1,0 +1,90 @@
+open Ximd_isa
+
+type organisation =
+  | Shared
+  | Distributed of { n_fus : int }
+
+type staged = { fu : int; value : Value.t }
+
+type t = {
+  organisation : organisation;
+  contents : Value.t array;
+  mutable stage : (int * staged list) list;  (* addr -> writers *)
+}
+
+let create ?(organisation = Shared) ~words () =
+  if words <= 0 then invalid_arg "Memory.create: words must be positive";
+  (match organisation with
+   | Shared -> ()
+   | Distributed { n_fus } ->
+     if n_fus <= 0 || words mod n_fus <> 0 then
+       invalid_arg "Memory.create: words must divide evenly among FUs");
+  { organisation; contents = Array.make words Value.zero; stage = [] }
+
+let words t = Array.length t.contents
+let organisation t = t.organisation
+
+(* An address is accessible to [fu] if it is in range and, under the
+   distributed organisation, falls in that FU's bank. *)
+let accessible t ~fu addr =
+  addr >= 0
+  && addr < Array.length t.contents
+  &&
+  match t.organisation with
+  | Shared -> true
+  | Distributed { n_fus } ->
+    let bank = Array.length t.contents / n_fus in
+    addr / bank = fu
+
+let read t ~fu ~cycle ~log addr =
+  if accessible t ~fu addr then t.contents.(addr)
+  else begin
+    Hazard.report log ~cycle (Hazard.Mem_out_of_bounds { addr; fu });
+    Value.zero
+  end
+
+let stage_write t ~fu ~cycle ~log addr value =
+  if accessible t ~fu addr then begin
+    let prior =
+      match List.assoc_opt addr t.stage with None -> [] | Some l -> l
+    in
+    t.stage <- (addr, { fu; value } :: prior) :: List.remove_assoc addr t.stage
+  end
+  else Hazard.report log ~cycle (Hazard.Mem_out_of_bounds { addr; fu })
+
+let commit t ~cycle ~log =
+  let apply (addr, writers) =
+    match writers with
+    | [] -> ()
+    | [ { value; _ } ] -> t.contents.(addr) <- value
+    | _ :: _ :: _ ->
+      let fus = List.rev_map (fun w -> w.fu) writers in
+      Hazard.report log ~cycle (Hazard.Multiple_mem_write { addr; fus });
+      let winner =
+        List.fold_left
+          (fun best w -> if w.fu > best.fu then w else best)
+          (List.hd writers) (List.tl writers)
+      in
+      t.contents.(addr) <- winner.value
+  in
+  let stage = t.stage in
+  t.stage <- [];
+  List.iter apply stage
+
+let check_bounds t addr what =
+  if addr < 0 || addr >= Array.length t.contents then
+    invalid_arg (Printf.sprintf "Memory.%s: address %d out of bounds" what addr)
+
+let set t addr value =
+  check_bounds t addr "set";
+  t.contents.(addr) <- value
+
+let get t addr =
+  check_bounds t addr "get";
+  t.contents.(addr)
+
+let load_block t ~addr values =
+  Array.iteri (fun i v -> set t (addr + i) v) values
+
+let dump_block t ~addr ~len =
+  Array.init len (fun i -> get t (addr + i))

@@ -1,0 +1,51 @@
+open Ximd_isa
+
+type staged = { fu : int; value : Value.t }
+
+type t = {
+  values : Value.t array;
+  (* staged writes per register, most recent first *)
+  mutable stage : (int * staged list) list;  (* reg index -> writers *)
+}
+
+let create () = { values = Array.make Reg.count Value.zero; stage = [] }
+
+let copy t = { values = Array.copy t.values; stage = t.stage }
+
+let read t r = t.values.(Reg.index r)
+
+let stage_write t ~fu r value =
+  let i = Reg.index r in
+  let prior = match List.assoc_opt i t.stage with
+    | None -> []
+    | Some l -> l
+  in
+  t.stage <- (i, { fu; value } :: prior) :: List.remove_assoc i t.stage
+
+let commit t ~cycle ~log =
+  let apply (i, writers) =
+    (match writers with
+     | [] -> ()
+     | [ { value; _ } ] -> t.values.(i) <- value
+     | _ :: _ :: _ ->
+       let fus = List.rev_map (fun w -> w.fu) writers in
+       Hazard.report log ~cycle
+         (Hazard.Multiple_reg_write { reg = Reg.make i; fus });
+       (* highest-numbered FU wins *)
+       let winner =
+         List.fold_left
+           (fun best w -> if w.fu > best.fu then w else best)
+           (List.hd writers) (List.tl writers)
+       in
+       t.values.(i) <- winner.value)
+  in
+  let stage = t.stage in
+  t.stage <- [];
+  List.iter apply stage
+
+let staged_count t =
+  List.fold_left (fun n (_, ws) -> n + List.length ws) 0 t.stage
+
+let set t r value = t.values.(Reg.index r) <- value
+
+let dump t = Array.copy t.values

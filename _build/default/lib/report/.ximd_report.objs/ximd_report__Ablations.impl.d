@@ -1,0 +1,1 @@
+lib/report/ablations.ml: Array Format Hashtbl Kernels List Opcode String Value Ximd_compiler Ximd_core Ximd_isa Ximd_machine Ximd_workloads

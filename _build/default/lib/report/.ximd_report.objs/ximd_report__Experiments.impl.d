@@ -1,0 +1,1 @@
+lib/report/experiments.ml: Array Format Kernels List Opcode Printf String Value Ximd_compiler Ximd_core Ximd_isa Ximd_machine Ximd_workloads

@@ -1,0 +1,1 @@
+lib/report/kernels.ml: Int32 Ir List Tile Ximd_compiler Ximd_isa

@@ -1,0 +1,1 @@
+lib/report/kernels.mli: Ximd_compiler

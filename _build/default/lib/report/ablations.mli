@@ -1,0 +1,39 @@
+(** Ablation studies for the design choices DESIGN.md calls out.
+
+    Each function prints a self-contained report, like
+    {!Experiments}'s runners. *)
+
+val a1_partition_rule : Format.formatter -> unit
+(** Why the partition rule groups by {e executed control signature}
+    rather than by program counter: replays the Figure 10 trace and
+    shows where the naive same-PC rule diverges from the published
+    partitions (it wrongly merges the data-dependent convergence at
+    cycle 9 and wrongly splits co-resident SSETs). *)
+
+val a2_packing_heuristic : Format.formatter -> unit
+(** Heuristic vs exhaustive tile choice in the density packer: the gap
+    between first-fit-decreasing with a min-area menu pick and the
+    exhaustive search, against the lower bound. *)
+
+val a3_pipelining : Format.formatter -> unit
+(** Initiation interval vs machine width for three loop shapes (dot
+    product, first difference, recurrence): where resource limits and
+    where recurrences bound the II. *)
+
+val a4_trace_scheduling : Format.formatter -> unit
+(** Region vs block-at-a-time schedule lengths across widths for the
+    guarded-pipeline kernel. *)
+
+val a5_exposed_pipeline : Format.formatter -> unit
+(** Running research-model (latency-unaware) code on the prototype's
+    3-stage datapath: completes but miscomputes — the exposed pipeline
+    demands rescheduling. *)
+
+val run_all : Format.formatter -> unit
+
+val known : (string * (Format.formatter -> unit)) list
+
+val a6_pipelined_codegen : Format.formatter -> unit
+(** Measured cycles of generated software-pipelined loops (ramp +
+    rotating kernel + drain) against the same loop compiled rolled, at
+    several widths. *)

@@ -1,0 +1,44 @@
+(** Regeneration of every figure and table in the paper's evaluation
+    (the per-experiment index lives in DESIGN.md §4; paper-vs-measured
+    records live in EXPERIMENTS.md).
+
+    Each function prints a self-contained report to the formatter.
+    [run_all] runs them in order. *)
+
+val f7 : Format.formatter -> unit
+(** Figure 7 + §2.2: the data-path instruction set table. *)
+
+val e1 : Format.formatter -> unit
+(** Example 1: the TPROC schedule — listing, cycle count, result check. *)
+
+val e2 : Format.formatter -> unit
+(** Example 2 + Figure 10: the MINMAX address trace, printed in the
+    paper's format and diffed against the transcribed figure. *)
+
+val e3 : Format.formatter -> unit
+(** Example 3 + Figure 11: BITCOUNT1 partition evolution through fork,
+    barrier and join. *)
+
+val e4 : Format.formatter -> unit
+(** Figure 12: IOSYNC — forwarded-value timeline and XIMD vs VLIW
+    completion times. *)
+
+val e5 : Format.formatter -> unit
+(** §4.1: the XIMD vs VLIW comparison table over the workload suite. *)
+
+val e6 : Format.formatter -> unit
+(** §4.3: prototype performance projection — peak and achieved
+    MIPS/MFLOPS at the 85 ns prototype cycle time. *)
+
+val e7 : Format.formatter -> unit
+(** Figure 13 + §4.2: tile menus for six threads, and the two packings
+    (static code density and execution time) with their lower bounds. *)
+
+val run_all : Format.formatter -> unit
+
+val known : (string * (Format.formatter -> unit)) list
+(** Experiment ids and their runners: f7, e1..e7, all. *)
+
+val e8 : Format.formatter -> unit
+(** §3.3's generalised barriers: the PAIRSYNC workload, masked
+    partner-only synchronisation vs all-thread synchronisation. *)

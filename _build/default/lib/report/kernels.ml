@@ -1,0 +1,105 @@
+open Ximd_compiler
+module Op = Ximd_isa.Opcode
+
+(* Straight-line kernels with varied dependence shapes.  Virtual
+   registers are local to each function. *)
+
+let block body = { Ir.label = "entry"; body; term = Ir.Return }
+
+(* y := a*x + y over four lanes: wide and flat. *)
+let saxpy_step =
+  let a = 0 in
+  let x i = 1 + i and y i = 5 + i and p i = 9 + i and r i = 13 + i in
+  { Ir.name = "saxpy_step";
+    params = a :: List.init 4 x @ List.init 4 y;
+    results = List.init 4 r;
+    blocks =
+      [ block
+          (List.init 4 (fun i -> Ir.Bin (Op.Fmult, Ir.V a, Ir.V (x i), p i))
+           @ List.init 4 (fun i ->
+               Ir.Bin (Op.Fadd, Ir.V (p i), Ir.V (y i), r i))) ] }
+
+(* Degree-7 Horner evaluation: one long serial chain — narrow and tall. *)
+let horner =
+  let x = 0 and acc = 1 and t = 2 in
+  let coeffs = [ 3l; -1l; 4l; 1l; -5l; 9l; 2l; 6l ] in
+  let body =
+    Ir.Un (Op.Mov, Ir.C (List.hd coeffs), acc)
+    :: List.concat_map
+         (fun c ->
+           [ Ir.Bin (Op.Imult, Ir.V acc, Ir.V x, t);
+             Ir.Bin (Op.Iadd, Ir.V t, Ir.C c, acc) ])
+         (List.tl coeffs)
+  in
+  { Ir.name = "horner"; params = [ x ]; results = [ acc ];
+    blocks = [ block body ] }
+
+(* Four-tap FIR: loads, multiplies, adder tree. *)
+let fir4 =
+  let base = 0 and k = 1 in
+  let x i = 2 + i and c i = 6 + i and p i = 10 + i in
+  let s0 = 14 and s1 = 15 and out = 16 in
+  let body =
+    List.init 4 (fun i -> Ir.Load (Ir.V base, Ir.C (Int32.of_int i), x i))
+    @ List.init 4 (fun i ->
+        Ir.Bin (Op.Fmult, Ir.V (x i), Ir.V (c i), p i))
+    @ [ Ir.Bin (Op.Fadd, Ir.V (p 0), Ir.V (p 1), s0);
+        Ir.Bin (Op.Fadd, Ir.V (p 2), Ir.V (p 3), s1);
+        Ir.Bin (Op.Fadd, Ir.V s0, Ir.V s1, out);
+        Ir.Bin (Op.Iadd, Ir.V base, Ir.V k, base);
+        Ir.Store (Ir.V out, Ir.V base) ]
+  in
+  { Ir.name = "fir4"; params = [ base; k; 6; 7; 8; 9 ]; results = [ out ];
+    blocks = [ block body ] }
+
+(* Address generator: independent short chains. *)
+let addrgen =
+  let b = 0 and i = 1 in
+  let a0 = 2 and a1 = 3 and a2 = 4 and a3 = 5 and s = 6 in
+  { Ir.name = "addrgen"; params = [ b; i ]; results = [ a0; a1; a2; a3 ];
+    blocks =
+      [ block
+          [ Ir.Bin (Op.Shl, Ir.V i, Ir.C 2l, s);
+            Ir.Bin (Op.Iadd, Ir.V b, Ir.V s, a0);
+            Ir.Bin (Op.Iadd, Ir.V a0, Ir.C 1l, a1);
+            Ir.Bin (Op.Iadd, Ir.V a0, Ir.C 2l, a2);
+            Ir.Bin (Op.Iadd, Ir.V a0, Ir.C 3l, a3) ] ] }
+
+(* Eight-way reduction: balanced binary tree. *)
+let reduce8 =
+  let v i = i in
+  let s0 = 8 and s1 = 9 and s2 = 10 and s3 = 11 in
+  let u0 = 12 and u1 = 13 and total = 14 in
+  { Ir.name = "reduce8"; params = List.init 8 v; results = [ total ];
+    blocks =
+      [ block
+          [ Ir.Bin (Op.Iadd, Ir.V 0, Ir.V 1, s0);
+            Ir.Bin (Op.Iadd, Ir.V 2, Ir.V 3, s1);
+            Ir.Bin (Op.Iadd, Ir.V 4, Ir.V 5, s2);
+            Ir.Bin (Op.Iadd, Ir.V 6, Ir.V 7, s3);
+            Ir.Bin (Op.Iadd, Ir.V s0, Ir.V s1, u0);
+            Ir.Bin (Op.Iadd, Ir.V s2, Ir.V s3, u1);
+            Ir.Bin (Op.Iadd, Ir.V u0, Ir.V u1, total) ] ] }
+
+(* Dependent loads: pointer-chase flavoured chain. *)
+let chain =
+  let p = 0 and a = 1 and b = 2 and c = 3 and d = 4 in
+  { Ir.name = "chain"; params = [ p ]; results = [ d ];
+    blocks =
+      [ block
+          [ Ir.Load (Ir.V p, Ir.C 0l, a);
+            Ir.Load (Ir.V a, Ir.C 0l, b);
+            Ir.Load (Ir.V b, Ir.C 0l, c);
+            Ir.Bin (Op.Iadd, Ir.V c, Ir.C 1l, d) ] ] }
+
+let all = [ saxpy_step; horner; fir4; addrgen; reduce8; chain ]
+
+let menus ?(widths = [ 1; 2; 4; 8 ]) () =
+  let rec loop acc = function
+    | [] -> Ok (List.rev acc)
+    | func :: rest -> (
+      match Tile.generate ~widths func with
+      | Error errors -> Error errors
+      | Ok tiles -> loop ((func.Ir.name, Tile.pareto tiles) :: acc) rest)
+  in
+  loop [] all

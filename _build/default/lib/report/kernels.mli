@@ -1,0 +1,16 @@
+(** Six small IR kernels used as the Figure 13 thread set.
+
+    The paper's figure shows six program threads, each compiled at
+    several widths into differently shaped tiles.  These kernels are
+    chosen to produce genuinely different tile shapes: wide/flat
+    (parallel arithmetic), narrow/tall (serial chains), and mixes. *)
+
+val all : Ximd_compiler.Ir.func list
+(** Six validated single-entry functions, named t0..t5 style
+    ("saxpy_step", "horner", "fir4", "addrgen", "reduce8", "chain"). *)
+
+val menus :
+  ?widths:int list ->
+  unit ->
+  ((string * Ximd_compiler.Tile.t list) list, string list) result
+(** Tile menus ({!Ximd_compiler.Tile.generate} + pareto) for {!all}. *)

@@ -1,0 +1,1 @@
+lib/workloads/bitcount.ml: Array Int32 List Printf Sync Value Workload Ximd_asm Ximd_core Ximd_isa Ximd_machine

@@ -1,0 +1,1 @@
+lib/workloads/iosync.ml: Array List Printf Result String Sync Value Workload Ximd_asm Ximd_core Ximd_isa Ximd_machine

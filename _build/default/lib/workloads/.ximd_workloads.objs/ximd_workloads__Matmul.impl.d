@@ -1,0 +1,1 @@
+lib/workloads/matmul.ml: Array Int32 List Printf Value Workload Ximd_asm Ximd_core Ximd_isa

@@ -1,0 +1,1 @@
+lib/workloads/minmax.ml: Array Int32 Printf Value Workload Ximd_asm Ximd_core Ximd_isa Ximd_machine

@@ -1,0 +1,1 @@
+lib/workloads/pairsync.ml: Array List Printf Sync Value Workload Ximd_asm Ximd_core Ximd_isa Ximd_machine

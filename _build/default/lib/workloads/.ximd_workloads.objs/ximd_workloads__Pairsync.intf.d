@@ -1,0 +1,1 @@
+lib/workloads/pairsync.mli: Workload

@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Bitcount Classify Iosync List Livermore Matmul Minmax Result Tproc Workload Ximd_core

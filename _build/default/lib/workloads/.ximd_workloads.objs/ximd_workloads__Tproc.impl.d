@@ -1,0 +1,1 @@
+lib/workloads/tproc.ml: Int32 Printf Value Workload Ximd_asm Ximd_core Ximd_isa Ximd_machine

@@ -1,0 +1,1 @@
+lib/workloads/tproc.mli: Workload

@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Config Printf Program Run State Vsim Ximd_core Xsim

@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Config Program Run State Tracer Ximd_core

@@ -1,0 +1,202 @@
+open Ximd_isa
+module B = Ximd_asm.Builder
+
+let data_base = 0x800
+let counts_base = 0x700
+
+let gen_value i = (i * 61 + 17) mod 100
+
+(* A row whose single real parcel sits on FU [fu]. *)
+let thread_row t ~fu ?ctl data =
+  B.row t ?ctl (List.init (fu + 1) (fun j -> B.d (if j = fu then data else B.nop)))
+
+(* One classifier thread of width 1 on FU [i]: a two-level branch tree
+   per element, private counters, private loop bounds. *)
+let emit_thread t ~i ~t1 ~t2 ~t3 =
+  let r name = B.reg t (Printf.sprintf "%s%d" name i) in
+  let o name = B.rop (r name) in
+  let k = r "k" and x = r "x" in
+  let c = Array.init 4 (fun b -> r (Printf.sprintf "c%d" b)) in
+  let lbl name = B.lbl (Printf.sprintf "%s_%d" name i) in
+  let label name = B.label t (Printf.sprintf "%s_%d" name i) in
+  let inc b next =
+    B.d (B.iadd (B.rop c.(b)) (B.imm 1) c.(b)) |> fun spec ->
+    B.row t ~ctl:(B.goto next)
+      (List.init (i + 1) (fun j -> if j = i then spec else B.d B.nop))
+  in
+  label "loop";
+  thread_row t ~fu:i (B.load (B.imm data_base) (o "k") x);
+  thread_row t ~fu:i (B.lt (o "x") (B.imm t2));
+  thread_row t ~fu:i ~ctl:(B.if_cc i (lbl "lo") (lbl "hi")) B.nop;
+  label "lo";
+  thread_row t ~fu:i (B.lt (o "x") (B.imm t1));
+  thread_row t ~fu:i ~ctl:(B.if_cc i (lbl "i0") (lbl "i1")) B.nop;
+  label "i0";
+  inc 0 (lbl "step");
+  label "i1";
+  inc 1 (lbl "step");
+  label "hi";
+  thread_row t ~fu:i (B.lt (o "x") (B.imm t3));
+  thread_row t ~fu:i ~ctl:(B.if_cc i (lbl "i2") (lbl "i3")) B.nop;
+  label "i2";
+  inc 2 (lbl "step");
+  label "i3";
+  inc 3 (lbl "step");
+  label "step";
+  thread_row t ~fu:i (B.iadd (o "k") (B.imm 1) k);
+  thread_row t ~fu:i (B.eq (o "k") (o "end"));
+  thread_row t ~fu:i ~ctl:(B.if_cc i (B.lbl "barrier") (lbl "loop")) B.nop;
+  (k, r "end", c)
+
+let build_ximd ~t1 ~t2 ~t3 =
+  let t = B.create ~n_fus:4 in
+  (* Entry: dispatch each FU to its own thread. *)
+  B.row t
+    (List.init 4 (fun i ->
+       B.sp ~ctl:(B.goto (B.lbl (Printf.sprintf "loop_%d" i))) B.nop));
+  let threads = List.init 4 (fun i -> emit_thread t ~i ~t1 ~t2 ~t3) in
+  (* Barrier: threads finish at data-dependent times. *)
+  B.label t "barrier";
+  B.row t ~sync:Sync.Done
+    ~ctl:(B.if_all_ss t (B.lbl "reduce") (B.lbl "barrier")) [];
+  (* Reduction of the 16 per-thread counters, then stores. *)
+  let c i b =
+    let _, _, cs = List.nth threads i in
+    B.rop cs.(b)
+  in
+  let r name = B.reg t name in
+  let o name = B.rop (r name) in
+  let u = Array.init 4 (fun b -> r (Printf.sprintf "u%d" b)) in
+  let v = Array.init 4 (fun b -> r (Printf.sprintf "v%d" b)) in
+  let w = Array.init 4 (fun b -> r (Printf.sprintf "w%d" b)) in
+  ignore o;
+  B.label t "reduce";
+  B.row t
+    [ B.d (B.iadd (c 0 0) (c 1 0) u.(0)); B.d (B.iadd (c 2 0) (c 3 0) v.(0));
+      B.d (B.iadd (c 0 1) (c 1 1) u.(1)); B.d (B.iadd (c 2 1) (c 3 1) v.(1)) ];
+  B.row t
+    [ B.d (B.iadd (B.rop u.(0)) (B.rop v.(0)) w.(0));
+      B.d (B.iadd (B.rop u.(1)) (B.rop v.(1)) w.(1));
+      B.d (B.iadd (c 0 2) (c 1 2) u.(2)); B.d (B.iadd (c 2 2) (c 3 2) v.(2)) ];
+  B.row t
+    [ B.d (B.store (B.rop w.(0)) (B.imm counts_base));
+      B.d (B.store (B.rop w.(1)) (B.imm (counts_base + 1)));
+      B.d (B.iadd (B.rop u.(2)) (B.rop v.(2)) w.(2));
+      B.d (B.iadd (c 0 3) (c 1 3) u.(3)) ];
+  B.row t
+    [ B.d (B.store (B.rop w.(2)) (B.imm (counts_base + 2)));
+      B.d (B.iadd (c 2 3) (c 3 3) v.(3)) ];
+  B.row t [ B.d (B.iadd (B.rop u.(3)) (B.rop v.(3)) w.(3)) ];
+  B.row t [ B.d (B.store (B.rop w.(3)) (B.imm (counts_base + 3))) ];
+  B.halt_row t;
+  let bounds = List.map (fun (k, e, _) -> (k, e)) threads in
+  (B.build t, bounds)
+
+let build_vliw ~t1 ~t2 ~t3 =
+  let t = B.create ~n_fus:4 in
+  let r name = B.reg t name in
+  let o name = B.rop (r name) in
+  let k = r "k" and x = r "x" in
+  let c = Array.init 4 (fun b -> r (Printf.sprintf "c%d" b)) in
+  B.label t "loop";
+  B.row t
+    [ B.d (B.load (B.imm data_base) (o "k") x);
+      B.d (B.iadd (o "k") (B.imm 1) k) ];
+  B.row t [ B.d (B.lt (o "x") (B.imm t2)) ];
+  B.row t ~ctl:(B.if_cc 0 (B.lbl "lo") (B.lbl "hi")) [];
+  B.label t "lo";
+  B.row t [ B.d (B.lt (o "x") (B.imm t1)) ];
+  B.row t ~ctl:(B.if_cc 0 (B.lbl "i0") (B.lbl "i1")) [];
+  B.label t "i0";
+  B.row t ~ctl:(B.goto (B.lbl "step"))
+    [ B.d (B.iadd (B.rop c.(0)) (B.imm 1) c.(0)) ];
+  B.label t "i1";
+  B.row t ~ctl:(B.goto (B.lbl "step"))
+    [ B.d (B.iadd (B.rop c.(1)) (B.imm 1) c.(1)) ];
+  B.label t "hi";
+  B.row t [ B.d (B.lt (o "x") (B.imm t3)) ];
+  B.row t ~ctl:(B.if_cc 0 (B.lbl "i2") (B.lbl "i3")) [];
+  B.label t "i2";
+  B.row t ~ctl:(B.goto (B.lbl "step"))
+    [ B.d (B.iadd (B.rop c.(2)) (B.imm 1) c.(2)) ];
+  B.label t "i3";
+  B.row t ~ctl:(B.goto (B.lbl "step"))
+    [ B.d (B.iadd (B.rop c.(3)) (B.imm 1) c.(3)) ];
+  B.label t "step";
+  B.row t [ B.d (B.eq (o "k") (o "end")) ];
+  B.row t ~ctl:(B.if_cc 0 (B.lbl "fin") (B.lbl "loop")) [];
+  B.label t "fin";
+  B.row t
+    (List.init 4 (fun b ->
+       B.d (B.store (B.rop c.(b)) (B.imm (counts_base + b)))));
+  B.halt_row t;
+  (B.build t, (k, r "end"))
+
+let reference data (t1, t2, t3) =
+  let counts = Array.make 4 0 in
+  Array.iter
+    (fun x ->
+      let b = if x < t2 then if x < t1 then 0 else 1
+        else if x < t3 then 2
+        else 3
+      in
+      counts.(b) <- counts.(b) + 1)
+    data;
+  counts
+
+let check data thresholds (state : Ximd_core.State.t) =
+  let expected = reference data thresholds in
+  let rec loop b =
+    if b >= 4 then Ok ()
+    else
+      let got =
+        Value.to_int (Ximd_core.State.mem_get state (counts_base + b))
+      in
+      if got = expected.(b) then loop (b + 1)
+      else
+        Error (Printf.sprintf "bucket %d: expected %d, got %d" b expected.(b)
+                 got)
+  in
+  loop 0
+
+let make ?(n = 64) ?(thresholds = (25, 50, 75)) () =
+  if n <= 0 || n mod 4 <> 0 then
+    invalid_arg "Classify.make: n must be a positive multiple of 4";
+  let t1, t2, t3 = thresholds in
+  if not (t1 < t2 && t2 < t3) then
+    invalid_arg "Classify.make: thresholds must be increasing";
+  let data = Array.init n gen_value in
+  let x_program, x_bounds = build_ximd ~t1 ~t2 ~t3 in
+  let v_program, (vk, vend) = build_vliw ~t1 ~t2 ~t3 in
+  let config = Ximd_core.Config.make ~n_fus:4 () in
+  let load_data (state : Ximd_core.State.t) =
+    Array.iteri
+      (fun i x ->
+        Ximd_core.State.mem_set state (data_base + i) (Value.of_int x))
+      data
+  in
+  let x_setup (state : Ximd_core.State.t) =
+    load_data state;
+    let quarter = n / 4 in
+    List.iteri
+      (fun i (k, e) ->
+        Ximd_machine.Regfile.set state.regs k (Value.of_int (i * quarter));
+        Ximd_machine.Regfile.set state.regs e
+          (Value.of_int ((i + 1) * quarter)))
+      x_bounds
+  in
+  let v_setup (state : Ximd_core.State.t) =
+    load_data state;
+    Ximd_machine.Regfile.set state.regs vk (Value.of_int 0);
+    Ximd_machine.Regfile.set state.regs vend (Value.of_int n)
+  in
+  { Workload.name = "classify";
+    description = "range classification: four width-1 XIMD threads vs one \
+                   serialised VLIW loop";
+    ximd =
+      { Workload.sim = Workload.Ximd; program = x_program; config;
+        setup = x_setup; check = check data thresholds };
+    vliw =
+      Some
+        { Workload.sim = Workload.Vliw; program = v_program; config;
+          setup = v_setup; check = check data thresholds } }

@@ -1,0 +1,25 @@
+(** CLASSIFY — range classification with data-dependent branches.
+
+    Counts how many elements of an integer array fall into each of four
+    ranges, using a two-level branch tree per element — the kind of
+    control-flow-dominated loop §1.3 identifies as a VLIW weak spot
+    ("as data operations are removed from the critical path ... control
+    operations may begin to dominate execution time").
+
+    The XIMD coding exploits the architecture's MIMD extreme: four
+    width-1 threads, one per functional unit, each classifying a quarter
+    of the array with its own branch unit (its own sequencer and
+    condition code), then an explicit barrier and a joint reduction of
+    the per-thread counters.  The VLIW coding is one loop whose two
+    branch decisions per element serialise.
+
+    Thresholds t1 < t2 < t3 split values into buckets
+    [(-inf,t1) [t1,t2) [t2,t3) [t3,+inf)]; counts are stored to memory. *)
+
+val counts_base : int
+(** Result address: four words, bucket 0 first. *)
+
+val make : ?n:int -> ?thresholds:int * int * int -> unit -> Workload.t
+(** [n] must be a positive multiple of 4 (default 64, thresholds
+    (25, 50, 75)); elements are a fixed pseudo-random sequence in
+    [0, 100). *)

@@ -1,0 +1,214 @@
+open Ximd_isa
+module B = Ximd_asm.Builder
+
+type latencies = { first : int; second : int; third : int }
+
+let p1_in_port = 0
+let p1_out_port = 1
+let p2_in_port = 2
+let p2_out_port = 3
+
+(* Scripted values: distinct non-zero payloads. *)
+let a_val = 101 and b_val = 102 and c_val = 103
+let x_val = 201 and y_val = 202 and z_val = 203
+
+(* One process row: real parcels at [base .. base+3] (offset-indexed),
+   nops elsewhere; each of the process's parcels drives DONE for the
+   variables it has already produced ([avail]). *)
+let prow t ~base ~avail ?ctl specs =
+  let full =
+    List.init 8 (fun fu ->
+      let local = fu - base in
+      if local >= 0 && local < 4 then begin
+        let data =
+          match List.assoc_opt local specs with
+          | Some d -> d
+          | None -> B.nop
+        in
+        let sync = if avail.(local) then Sync.Done else Sync.Busy in
+        B.sp ~sync data
+      end
+      else B.sp B.nop)
+  in
+  B.row t ?ctl full
+
+(* A three-row polling loop: in / eq / branch-back.  [fu_in]/[fu_eq] are
+   process-local offsets; the eq runs on the process's second FU so the
+   loop branch tests that FU's condition code. *)
+let stage_get t ~base ~avail ~port ~dest ~odest ~label ~next =
+  let cc = base + 1 in
+  B.label t label;
+  prow t ~base ~avail [ (0, B.in_ (B.imm port) dest) ];
+  prow t ~base ~avail [ (1, B.eq odest (B.imm 0)) ];
+  prow t ~base ~avail ~ctl:(B.if_cc cc (B.lbl label) (B.lbl next)) []
+
+(* Wait for [ss] = DONE, then write [src] to [port]. *)
+let stage_send t ~base ~avail ~ss ~src ~port ~label ~next =
+  let do_label = label ^ "_do" in
+  B.label t label;
+  prow t ~base ~avail ~ctl:(B.if_ss ss (B.lbl do_label) (B.lbl label)) [];
+  B.label t do_label;
+  prow t ~base ~avail ~ctl:(B.goto (B.lbl next))
+    [ (0, B.out src (B.imm port)) ]
+
+let avail_none = [| false; false; false; false |]
+
+let build_ximd () =
+  let t = B.create ~n_fus:8 in
+  let r name = B.reg t name and o name = B.reg_op t name in
+  let ra = r "a" and rb = r "b" and rc = r "c" in
+  let rx = r "x" and ry = r "y" and rz = r "z" in
+  let oa = o "a" and ob = o "b" and oc = o "c" in
+  let ox = o "x" and oy = o "y" and oz = o "z" in
+  (* Entry: the initial partition {0,..,7} forks into the two process
+     SSETs by branching FUs 0-3 and 4-7 to different addresses. *)
+  B.row t
+    (List.init 8 (fun fu ->
+       B.sp
+         ~ctl:(B.goto (B.lbl (if fu < 4 then "p1_get_a" else "p2_send_a")))
+         B.nop));
+  (* ---- Process 1 on {0,1,2,3}: a,b,c from port 0; x,y,z to port 1 *)
+  let base = 0 in
+  let av = avail_none in
+  stage_get t ~base ~avail:av ~port:p1_in_port ~dest:ra ~odest:oa
+    ~label:"p1_get_a" ~next:"p1_get_b";
+  let av = [| true; false; false; false |] in
+  stage_get t ~base ~avail:av ~port:p1_in_port ~dest:rb ~odest:ob
+    ~label:"p1_get_b" ~next:"p1_send_x";
+  let av = [| true; true; false; false |] in
+  stage_send t ~base ~avail:av ~ss:4 ~src:ox ~port:p1_out_port
+    ~label:"p1_send_x" ~next:"p1_get_c";
+  stage_get t ~base ~avail:av ~port:p1_in_port ~dest:rc ~odest:oc
+    ~label:"p1_get_c" ~next:"p1_send_y";
+  let av = [| true; true; true; false |] in
+  stage_send t ~base ~avail:av ~ss:5 ~src:oy ~port:p1_out_port
+    ~label:"p1_send_y" ~next:"p1_send_z";
+  stage_send t ~base ~avail:av ~ss:6 ~src:oz ~port:p1_out_port
+    ~label:"p1_send_z" ~next:"p1_barrier";
+  let av = [| true; true; true; true |] in
+  B.label t "p1_barrier";
+  prow t ~base ~avail:av
+    ~ctl:(B.if_all_ss t (B.lbl "p1_done") (B.lbl "p1_barrier")) [];
+  B.label t "p1_done";
+  B.halt_row t;
+  (* ---- Process 2 on {4,5,6,7}: x,y,z from port 2; a,b,c to port 3 *)
+  let base = 4 in
+  let av = avail_none in
+  stage_send t ~base ~avail:av ~ss:0 ~src:oa ~port:p2_out_port
+    ~label:"p2_send_a" ~next:"p2_get_x";
+  stage_get t ~base ~avail:av ~port:p2_in_port ~dest:rx ~odest:ox
+    ~label:"p2_get_x" ~next:"p2_get_y";
+  let av = [| true; false; false; false |] in
+  stage_get t ~base ~avail:av ~port:p2_in_port ~dest:ry ~odest:oy
+    ~label:"p2_get_y" ~next:"p2_send_b";
+  let av = [| true; true; false; false |] in
+  stage_send t ~base ~avail:av ~ss:1 ~src:ob ~port:p2_out_port
+    ~label:"p2_send_b" ~next:"p2_get_z";
+  stage_get t ~base ~avail:av ~port:p2_in_port ~dest:rz ~odest:oz
+    ~label:"p2_get_z" ~next:"p2_send_c";
+  let av = [| true; true; true; false |] in
+  stage_send t ~base ~avail:av ~ss:2 ~src:oc ~port:p2_out_port
+    ~label:"p2_send_c" ~next:"p2_barrier";
+  let av = [| true; true; true; true |] in
+  B.label t "p2_barrier";
+  prow t ~base ~avail:av
+    ~ctl:(B.if_all_ss t (B.lbl "p2_done") (B.lbl "p2_barrier")) [];
+  B.label t "p2_done";
+  B.halt_row t;
+  (B.build t, (ra, rb, rc, rx, ry, rz))
+
+(* The VLIW coding: one instruction stream drains port 0, then port 2,
+   then performs the six output writes.  Register flags are unnecessary
+   because sequencing subsumes them — but the serial order is exactly
+   what costs cycles when both devices have production latencies. *)
+let build_vliw () =
+  let t = B.create ~n_fus:8 in
+  let r name = B.reg t name and o name = B.reg_op t name in
+  let ra = r "a" and rb = r "b" and rc = r "c" in
+  let rx = r "x" and ry = r "y" and rz = r "z" in
+  let poll ~port ~dest ~odest ~label ~next =
+    B.label t label;
+    B.row t [ B.d (B.in_ (B.imm port) dest) ];
+    B.row t [ B.d (B.eq odest (B.imm 0)) ];
+    B.row t ~ctl:(B.if_cc 0 (B.lbl label) (B.lbl next)) []
+  in
+  poll ~port:p1_in_port ~dest:ra ~odest:(o "a") ~label:"get_a" ~next:"get_b";
+  poll ~port:p1_in_port ~dest:rb ~odest:(o "b") ~label:"get_b" ~next:"get_c";
+  poll ~port:p1_in_port ~dest:rc ~odest:(o "c") ~label:"get_c" ~next:"get_x";
+  poll ~port:p2_in_port ~dest:rx ~odest:(o "x") ~label:"get_x" ~next:"get_y";
+  poll ~port:p2_in_port ~dest:ry ~odest:(o "y") ~label:"get_y" ~next:"get_z";
+  poll ~port:p2_in_port ~dest:rz ~odest:(o "z") ~label:"get_z" ~next:"outs";
+  B.label t "outs";
+  B.row t
+    [ B.d (B.out (o "x") (B.imm p1_out_port));
+      B.d (B.out (o "a") (B.imm p2_out_port)) ];
+  B.row t
+    [ B.d (B.out (o "y") (B.imm p1_out_port));
+      B.d (B.out (o "b") (B.imm p2_out_port)) ];
+  B.row t
+    [ B.d (B.out (o "z") (B.imm p1_out_port));
+      B.d (B.out (o "c") (B.imm p2_out_port)) ];
+  B.halt_row t;
+  (B.build t, (ra, rb, rc, rx, ry, rz))
+
+let wait_eq ~what expected got =
+  if got = expected then Ok ()
+  else Error (Printf.sprintf "%s: expected %d, got %d" what expected got)
+
+let ( let* ) = Result.bind
+
+let check regs (state : Ximd_core.State.t) =
+  let ra, rb, rc, rx, ry, rz = regs in
+  let reg r = Value.to_int (Ximd_machine.Regfile.read state.regs r) in
+  let outputs port =
+    List.map
+      (fun (_, v) -> Value.to_int v)
+      (Ximd_machine.Ioport.output state.io ~port)
+  in
+  let* () = wait_eq ~what:"reg a" a_val (reg ra) in
+  let* () = wait_eq ~what:"reg b" b_val (reg rb) in
+  let* () = wait_eq ~what:"reg c" c_val (reg rc) in
+  let* () = wait_eq ~what:"reg x" x_val (reg rx) in
+  let* () = wait_eq ~what:"reg y" y_val (reg ry) in
+  let* () = wait_eq ~what:"reg z" z_val (reg rz) in
+  let check_port ~what port expected =
+    let got = outputs port in
+    if got = expected then Ok ()
+    else
+      Error
+        (Printf.sprintf "%s: expected [%s], got [%s]" what
+           (String.concat ";" (List.map string_of_int expected))
+           (String.concat ";" (List.map string_of_int got)))
+  in
+  let* () =
+    check_port ~what:"port 1 (x,y,z)" p1_out_port [ x_val; y_val; z_val ]
+  in
+  check_port ~what:"port 3 (a,b,c)" p2_out_port [ a_val; b_val; c_val ]
+
+let setup p1 p2 (state : Ximd_core.State.t) =
+  let open Ximd_machine.Ioport in
+  script state.io ~port:p1_in_port
+    [ (After p1.first, Value.of_int a_val);
+      (After p1.second, Value.of_int b_val);
+      (After p1.third, Value.of_int c_val) ];
+  script state.io ~port:p2_in_port
+    [ (After p2.first, Value.of_int x_val);
+      (After p2.second, Value.of_int y_val);
+      (After p2.third, Value.of_int z_val) ]
+
+let make ?(p1_latencies = { first = 10; second = 30; third = 10 })
+    ?(p2_latencies = { first = 15; second = 25; third = 15 }) () =
+  let x_program, x_regs = build_ximd () in
+  let v_program, v_regs = build_vliw () in
+  let config = Ximd_core.Config.make ~n_fus:8 ~max_cycles:100_000 () in
+  { Workload.name = "iosync";
+    description =
+      "Figure 12: two I/O-bound processes with non-blocking SS \
+       synchronisation";
+    ximd =
+      { Workload.sim = Workload.Ximd; program = x_program; config;
+        setup = setup p1_latencies p2_latencies; check = check x_regs };
+    vliw =
+      Some
+        { Workload.sim = Workload.Vliw; program = v_program; config;
+          setup = setup p1_latencies p2_latencies; check = check v_regs } }

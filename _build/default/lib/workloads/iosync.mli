@@ -1,0 +1,44 @@
+(** IOSYNC — the paper's Figure 12 ("Multiple Non-Blocking
+    Synchronizations").
+
+    Two concurrent processes run on an 8-FU XIMD: Process 1 on SSET
+    {0,1,2,3}, Process 2 on SSET {4,5,6,7}.  Each process polls its own
+    input port "until the port returns a non-zero, valid value", and
+    forwards values produced by the {e other} process to its own output
+    port.  Availability of each variable is published through one
+    synchronisation bit, exactly as the figure encodes it:
+
+    {v  a -> SS0   b -> SS1   c -> SS2      (produced by P1)
+        x -> SS4   y -> SS5   z -> SS6      (produced by P2)  v}
+
+    Values travel between the processes through the shared global
+    register file; the SS bits only signal availability, so each process
+    "can proceed until it is blocked by a data dependency" while the
+    producer "can continue unhindered".  A standard all-FU barrier ends
+    both processes (shaded in the figure), with SS3/SS7 serving as the
+    process-completion flags.
+
+    Stage orders (arrows of the figure, one acyclic choice):
+    - P1: get a · get b · send x · get c · send y · send z · barrier
+    - P2: send a · get x · get y · send b · get z · send c · barrier
+
+    The I/O ports use relative latencies ({!Ximd_machine.Ioport.After}):
+    a device needs time to produce its next datum after being read.
+    The VLIW comparison variant runs the same work as one instruction
+    stream (poll port 0 to completion, then port 2, then write the
+    outputs), using plain register flags — the coding the paper says the
+    SS bits improve upon. *)
+
+type latencies = { first : int; second : int; third : int }
+
+val make :
+  ?p1_latencies:latencies -> ?p2_latencies:latencies -> unit -> Workload.t
+(** Defaults: P1's input port delivers with gaps (10, 30, 10) and P2's
+    with (15, 25, 15) cycles.  Checks: both output ports received the
+    three forwarded values in order, and all six registers hold the
+    scripted values. *)
+
+val p1_in_port : int
+val p1_out_port : int
+val p2_in_port : int
+val p2_out_port : int

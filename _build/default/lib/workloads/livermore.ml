@@ -1,0 +1,318 @@
+open Ximd_isa
+module B = Ximd_asm.Builder
+
+(* Memory map (word addresses). *)
+let x_base = 0x1000
+let y_base = 0x2000
+let z_base = 0x3000
+let result_addr = 0x0f00
+
+(* Round through IEEE-754 single precision, as the 32-bit datapath does. *)
+let f32 x = Int32.float_of_bits (Int32.bits_of_float x)
+
+(* Deterministic test data. *)
+let gen_float i = f32 (0.5 +. (float_of_int ((i * 37 mod 19) + 1) /. 7.))
+
+let set_float_array (state : Ximd_core.State.t) base values =
+  Array.iteri
+    (fun i v -> Ximd_core.State.mem_set state (base + i) (Value.of_float v))
+    values
+
+let check_float_array (state : Ximd_core.State.t) base expected ~what =
+  let rec loop i =
+    if i >= Array.length expected then Ok ()
+    else
+      let got = Value.to_float (Ximd_core.State.mem_get state (base + i)) in
+      if got = expected.(i) then loop (i + 1)
+      else
+        Error
+          (Printf.sprintf "%s[%d]: expected %h, got %h" what i expected.(i)
+           got)
+  in
+  loop 0
+
+let config = Ximd_core.Config.make ~n_fus:8 ()
+
+let workload ~name ~description ~program ~setup ~check =
+  let variant sim = { Workload.sim; program; config; setup; check } in
+  { Workload.name; description;
+    ximd = variant Workload.Ximd;
+    vliw = Some (variant Workload.Vliw) }
+
+(* ------------------------------------------------------------------ *)
+(* Loop 12: X(k) = Y(k+1) - Y(k), software-pipelined, 4 elements per
+   3-cycle group. *)
+
+let build_loop12 () =
+  let t = B.create ~n_fus:8 in
+  let o name = B.reg_op t name and r name = B.reg t name in
+  let k = r "k" and kmax = r "kmax" and yprev = r "yprev" in
+  let ti = Array.init 4 (fun i -> r (Printf.sprintf "t%d" i)) in
+  let xi = Array.init 4 (fun i -> r (Printf.sprintf "x%d" i)) in
+  let ai = Array.init 4 (fun i -> r (Printf.sprintf "a%d" i)) in
+  let oti = Array.map B.rop ti and oxi = Array.map B.rop xi in
+  let oai = Array.map B.rop ai in
+  let ok = o "k" and on = o "n" and okmax = o "kmax" and oyprev = o "yprev" in
+  (* prologue *)
+  B.row t
+    [ B.d (B.load (B.imm y_base) (B.imm 0) yprev);
+      B.d (B.mov (B.imm 0) k);
+      B.d (B.isub on (B.imm 4) kmax);
+      B.d B.nop;
+      B.d (B.mov (B.imm (x_base - 4)) ai.(0));
+      B.d (B.mov (B.imm (x_base - 3)) ai.(1));
+      B.d (B.mov (B.imm (x_base - 2)) ai.(2));
+      B.d (B.mov (B.imm (x_base - 1)) ai.(3)) ];
+  B.label t "loop";
+  (* row A: load the next four Y values, advance the store addresses *)
+  B.row t
+    (List.init 8 (fun i ->
+       if i < 4 then B.d (B.load (B.imm (y_base + 1 + i)) ok ti.(i))
+       else
+         let j = i - 4 in
+         B.d (B.iadd oai.(j) (B.imm 4) ai.(j))));
+  (* row B: differences, bookkeeping *)
+  B.row t
+    [ B.d (B.fsub oti.(0) oyprev xi.(0));
+      B.d (B.fsub oti.(1) oti.(0) xi.(1));
+      B.d (B.fsub oti.(2) oti.(1) xi.(2));
+      B.d (B.fsub oti.(3) oti.(2) xi.(3));
+      B.d (B.mov oti.(3) yprev);
+      B.d (B.iadd ok (B.imm 4) k);
+      B.d (B.lt ok okmax) ];
+  (* row C: stores, loop branch (cc6 set in row B) *)
+  B.row t
+    ~ctl:(B.if_cc 6 (B.lbl "loop") (B.lbl "end"))
+    (List.init 4 (fun i -> B.d (B.store oxi.(i) oai.(i))));
+  B.label t "end";
+  B.halt_row t;
+  (B.build t, r "n")
+
+let reference_loop12 y n =
+  Array.init n (fun i -> f32 (y.(i + 1) -. y.(i)))
+
+let loop12 ?(n = 64) () =
+  if n <= 0 || n mod 4 <> 0 then
+    invalid_arg "Livermore.loop12: n must be a positive multiple of 4";
+  let program, rn = build_loop12 () in
+  let y = Array.init (n + 1) gen_float in
+  let expected = reference_loop12 y n in
+  let setup (state : Ximd_core.State.t) =
+    Ximd_machine.Regfile.set state.regs rn (Value.of_int n);
+    set_float_array state y_base y
+  in
+  let check state = check_float_array state x_base expected ~what:"X" in
+  workload ~name:"ll12" ~program ~setup ~check
+    ~description:"Livermore 12: first difference, software-pipelined"
+
+(* ------------------------------------------------------------------ *)
+(* Loop 1: X(k) = Q + Y(k)*(R*Z(k+10) + T*Z(k+11)), two elements per
+   6-cycle iteration. *)
+
+let build_loop1 () =
+  let t = B.create ~n_fus:8 in
+  let o name = B.reg_op t name and r name = B.reg t name in
+  let k = r "k" and kmax = r "kmax" in
+  let y0 = r "y0" and y1 = r "y1" in
+  let za = r "za" and zb = r "zb" and zc = r "zc" in
+  let m10 = r "m10" and m20 = r "m20" and m11 = r "m11" and m21 = r "m21" in
+  let s0 = r "s0" and s1 = r "s1" and p0 = r "p0" and p1 = r "p1" in
+  let x0 = r "x0" and x1 = r "x1" and ax0 = r "ax0" and ax1 = r "ax1" in
+  let q = r "q" and rr = r "r" and tc = r "t" in
+  let ok = o "k" and on = o "n" and okmax = o "kmax" in
+  let oy0 = o "y0" and oy1 = o "y1" in
+  let oza = o "za" and ozb = o "zb" and ozc = o "zc" in
+  let om10 = o "m10" and om20 = o "m20" and om11 = o "m11" and om21 = o "m21" in
+  let os0 = o "s0" and os1 = o "s1" and op0 = o "p0" and op1 = o "p1" in
+  let ox0 = o "x0" and ox1 = o "x1" and oax0 = o "ax0" and oax1 = o "ax1" in
+  let oq = o "q" and orr = o "r" and otc = o "t" in
+  B.row t [ B.d (B.mov (B.imm 0) k); B.d (B.isub on (B.imm 1) kmax) ];
+  B.label t "loop";
+  B.row t
+    [ B.d (B.load (B.imm y_base) ok y0);
+      B.d (B.load (B.imm (y_base + 1)) ok y1);
+      B.d (B.load (B.imm (z_base + 10)) ok za);
+      B.d (B.load (B.imm (z_base + 11)) ok zb);
+      B.d (B.load (B.imm (z_base + 12)) ok zc);
+      B.d (B.iadd ok (B.imm x_base) ax0);
+      B.d (B.iadd ok (B.imm 2) k) ];
+  B.row t
+    [ B.d (B.fmult orr oza m10);
+      B.d (B.fmult otc ozb m20);
+      B.d (B.fmult orr ozb m11);
+      B.d (B.fmult otc ozc m21);
+      B.d (B.lt ok okmax);
+      B.d (B.iadd oax0 (B.imm 1) ax1) ];
+  B.row t [ B.d (B.fadd om10 om20 s0); B.d (B.fadd om11 om21 s1) ];
+  B.row t [ B.d (B.fmult oy0 os0 p0); B.d (B.fmult oy1 os1 p1) ];
+  B.row t [ B.d (B.fadd oq op0 x0); B.d (B.fadd oq op1 x1) ];
+  B.row t
+    ~ctl:(B.if_cc 4 (B.lbl "loop") (B.lbl "end"))
+    [ B.d (B.store ox0 oax0); B.d (B.store ox1 oax1) ];
+  B.label t "end";
+  B.halt_row t;
+  (B.build t, (r "n", q, rr, tc))
+
+let q_val = f32 0.75
+let r_val = f32 1.25
+let t_val = f32 0.375
+
+let reference_loop1 y z n =
+  Array.init n (fun k ->
+    let m1 = f32 (r_val *. z.(k + 10)) and m2 = f32 (t_val *. z.(k + 11)) in
+    let s = f32 (m1 +. m2) in
+    let p = f32 (y.(k) *. s) in
+    f32 (q_val +. p))
+
+let loop1 ?(n = 64) () =
+  if n <= 0 || n mod 2 <> 0 then
+    invalid_arg "Livermore.loop1: n must be a positive multiple of 2";
+  let program, (rn, rq, rr, rt) = build_loop1 () in
+  let y = Array.init (n + 2) gen_float in
+  let z = Array.init (n + 13) (fun i -> gen_float (i + 100)) in
+  let expected = reference_loop1 y z n in
+  let setup (state : Ximd_core.State.t) =
+    Ximd_machine.Regfile.set state.regs rn (Value.of_int n);
+    Ximd_machine.Regfile.set state.regs rq (Value.of_float q_val);
+    Ximd_machine.Regfile.set state.regs rr (Value.of_float r_val);
+    Ximd_machine.Regfile.set state.regs rt (Value.of_float t_val);
+    set_float_array state y_base y;
+    set_float_array state z_base z
+  in
+  let check state = check_float_array state x_base expected ~what:"X" in
+  workload ~name:"ll1" ~program ~setup ~check
+    ~description:"Livermore 1: hydro fragment, two elements per iteration"
+
+(* ------------------------------------------------------------------ *)
+(* Loop 3: inner product with four parallel partial sums. *)
+
+let build_loop3 () =
+  let t = B.create ~n_fus:8 in
+  let o name = B.reg_op t name and r name = B.reg t name in
+  let k = r "k" and kmax = r "kmax" in
+  let zi = Array.init 4 (fun i -> r (Printf.sprintf "z%d" i)) in
+  let xi = Array.init 4 (fun i -> r (Printf.sprintf "x%d" i)) in
+  let pi = Array.init 4 (fun i -> r (Printf.sprintf "p%d" i)) in
+  let si = Array.init 4 (fun i -> r (Printf.sprintf "s%d" i)) in
+  let ozi = Array.map B.rop zi and oxi = Array.map B.rop xi in
+  let opi = Array.map B.rop pi and osi = Array.map B.rop si in
+  let u0 = r "u0" and u1 = r "u1" and q = r "q" in
+  let ok = o "k" and on = o "n" and okmax = o "kmax" in
+  B.row t [ B.d (B.mov (B.imm 0) k); B.d (B.isub on (B.imm 4) kmax) ];
+  B.label t "loop";
+  B.row t
+    (List.init 8 (fun i ->
+       if i < 4 then B.d (B.load (B.imm (z_base + i)) ok zi.(i))
+       else B.d (B.load (B.imm (x_base + i - 4)) ok xi.(i - 4))));
+  B.row t
+    [ B.d (B.fmult ozi.(0) oxi.(0) pi.(0));
+      B.d (B.fmult ozi.(1) oxi.(1) pi.(1));
+      B.d (B.fmult ozi.(2) oxi.(2) pi.(2));
+      B.d (B.fmult ozi.(3) oxi.(3) pi.(3));
+      B.d (B.iadd ok (B.imm 4) k);
+      B.d (B.lt ok okmax) ];
+  B.row t
+    ~ctl:(B.if_cc 5 (B.lbl "loop") (B.lbl "reduce"))
+    (List.init 4 (fun i -> B.d (B.fadd osi.(i) opi.(i) si.(i))));
+  B.label t "reduce";
+  B.row t
+    [ B.d (B.fadd osi.(0) osi.(1) u0); B.d (B.fadd osi.(2) osi.(3) u1) ];
+  B.row t [ B.d (B.fadd (B.rop u0) (B.rop u1) q) ];
+  B.row t [ B.d (B.store (B.rop q) (B.imm result_addr)) ];
+  B.halt_row t;
+  (B.build t, r "n")
+
+let reference_loop3 z x n =
+  (* Partial sums s_i = sum of z.(4j+i)*x.(4j+i), then (s0+s1)+(s2+s3) —
+     the same association order as the schedule. *)
+  let s = Array.make 4 0.0 in
+  for k = 0 to (n / 4) - 1 do
+    for i = 0 to 3 do
+      let p = f32 (z.((4 * k) + i) *. x.((4 * k) + i)) in
+      s.(i) <- f32 (s.(i) +. p)
+    done
+  done;
+  f32 (f32 (s.(0) +. s.(1)) +. f32 (s.(2) +. s.(3)))
+
+let loop3 ?(n = 64) () =
+  if n <= 0 || n mod 4 <> 0 then
+    invalid_arg "Livermore.loop3: n must be a positive multiple of 4";
+  let program, rn = build_loop3 () in
+  let z = Array.init n gen_float in
+  let x = Array.init n (fun i -> gen_float (i + 41)) in
+  let expected = reference_loop3 z x n in
+  let setup (state : Ximd_core.State.t) =
+    Ximd_machine.Regfile.set state.regs rn (Value.of_int n);
+    set_float_array state z_base z;
+    set_float_array state x_base x
+  in
+  let check (state : Ximd_core.State.t) =
+    let got = Value.to_float (Ximd_core.State.mem_get state result_addr) in
+    if got = expected then Ok ()
+    else Error (Printf.sprintf "Q: expected %h, got %h" expected got)
+  in
+  workload ~name:"ll3" ~program ~setup ~check
+    ~description:"Livermore 3: inner product, four partial sums"
+
+(* ------------------------------------------------------------------ *)
+(* Loop 5: X(i) = Z(i)*(Y(i) - X(i-1)) — a true recurrence; three
+   cycles per element on either machine. *)
+
+let build_loop5 () =
+  let t = B.create ~n_fus:8 in
+  let o name = B.reg_op t name and r name = B.reg t name in
+  let k = r "k" and kmax = r "kmax" and xprev = r "xprev" in
+  let z = r "z" and y = r "y" and zn = r "zn" and yn = r "yn" in
+  let d = r "d" and ax = r "ax" in
+  let ok = o "k" and on = o "n" and okmax = o "kmax" in
+  let oxprev = o "xprev" and oz = o "z" and oy = o "y" in
+  let ozn = o "zn" and oyn = o "yn" and od = o "d" and oax = o "ax" in
+  B.row t
+    [ B.d (B.mov (B.imm 1) k);
+      B.d (B.isub on (B.imm 1) kmax);
+      B.d (B.load (B.imm x_base) (B.imm 0) xprev);
+      B.d (B.load (B.imm (z_base + 1)) (B.imm 0) z);
+      B.d (B.load (B.imm (y_base + 1)) (B.imm 0) y) ];
+  B.label t "loop";
+  (* Loads prefetch element k+1; arrays carry one slack slot so the last
+     iteration's prefetch stays in bounds. *)
+  B.row t
+    [ B.d (B.fsub oy oxprev d);
+      B.d (B.load (B.imm (z_base + 1)) ok zn);
+      B.d (B.load (B.imm (y_base + 1)) ok yn);
+      B.d (B.iadd ok (B.imm x_base) ax);
+      B.d (B.iadd ok (B.imm 1) k);
+      B.d (B.lt ok okmax) ];
+  B.row t
+    [ B.d (B.fmult oz od xprev); B.d (B.mov ozn z); B.d (B.mov oyn y) ];
+  B.row t
+    ~ctl:(B.if_cc 5 (B.lbl "loop") (B.lbl "end"))
+    [ B.d (B.store oxprev oax) ];
+  B.label t "end";
+  B.halt_row t;
+  (B.build t, r "n")
+
+let reference_loop5 z y x0 n =
+  let x = Array.make n 0.0 in
+  x.(0) <- x0;
+  for i = 1 to n - 1 do
+    x.(i) <- f32 (z.(i) *. f32 (y.(i) -. x.(i - 1)))
+  done;
+  x
+
+let loop5 ?(n = 64) () =
+  if n < 2 then invalid_arg "Livermore.loop5: n must be at least 2";
+  let program, rn = build_loop5 () in
+  let z = Array.init (n + 1) gen_float in
+  let y = Array.init (n + 1) (fun i -> gen_float (i + 71)) in
+  let x0 = gen_float 5 in
+  let expected = reference_loop5 z y x0 n in
+  let setup (state : Ximd_core.State.t) =
+    Ximd_machine.Regfile.set state.regs rn (Value.of_int n);
+    set_float_array state z_base z;
+    set_float_array state y_base y;
+    Ximd_core.State.mem_set state x_base (Value.of_float x0)
+  in
+  let check state = check_float_array state x_base expected ~what:"X" in
+  workload ~name:"ll5" ~program ~setup ~check
+    ~description:"Livermore 5: tri-diagonal elimination (serial recurrence)"

@@ -1,0 +1,36 @@
+(** Livermore kernels.
+
+    Loop 12 (first difference) appears in the paper (§3.1) as the example
+    of a traditional vectorisable problem that software pipelining
+    schedules effectively — a fully synchronous VLIW-style program that
+    runs identically on XIMD and VLIW.  Loops 1 (hydro fragment), 3
+    (inner product) and 5 (tri-diagonal elimination) extend the §4.1
+    comparison suite: loops 1 and 3 are also parallel/synchronous
+    (parity expected); loop 5 carries a true loop recurrence, so both
+    machines serialise identically (parity expected — XIMD's extra
+    sequencers cannot help a data recurrence).
+
+    All kernels run on the full 8-FU XIMD-1 model with single-precision
+    float data; XIMD and VLIW variants share the same control-consistent
+    program.
+
+    {v
+    LL1:  X(k) = Q + Y(k)*(R*Z(k+10) + T*Z(k+11))
+    LL3:  Q    = sum_k Z(k)*X(k)
+    LL5:  X(i) = Z(i)*(Y(i) - X(i-1))
+    LL12: X(k) = Y(k+1) - Y(k)
+    v}
+*)
+
+val loop1 : ?n:int -> unit -> Workload.t
+(** [n] must be even (the schedule processes two elements per
+    iteration); default 64. *)
+
+val loop3 : ?n:int -> unit -> Workload.t
+(** [n] must be a multiple of 4; default 64. *)
+
+val loop5 : ?n:int -> unit -> Workload.t
+(** [n >= 2]; default 64. *)
+
+val loop12 : ?n:int -> unit -> Workload.t
+(** [n] must be a positive multiple of 4; default 64. *)

@@ -1,0 +1,96 @@
+open Ximd_isa
+module B = Ximd_asm.Builder
+
+let a_base = 0x500
+let b_base = 0x540
+let c_base = 0x580
+
+let f32 x = Int32.float_of_bits (Int32.bits_of_float x)
+
+let build () =
+  let t = B.create ~n_fus:8 in
+  let r name = B.reg t name in
+  let o name = B.rop (r name) in
+  let ak = Array.init 4 (fun k -> r (Printf.sprintf "a%d" k)) in
+  let bk = Array.init 4 (fun k -> r (Printf.sprintf "b%d" k)) in
+  let pk = Array.init 4 (fun k -> r (Printf.sprintf "p%d" k)) in
+  let s0 = r "s0" and s1 = r "s1" and cv = r "cv" in
+  let cidx = r "cidx" and ca = r "ca" in
+  let r4i = r "r4i" and rj = r "rj" in
+  B.row t [ B.d (B.mov (B.imm 0) r4i); B.d (B.mov (B.imm 0) rj) ];
+  B.label t "jloop";
+  (* A row i and B column j: A[i][k] at a_base+4i+k, B[k][j] at
+     b_base+4k+j. *)
+  B.row t
+    (List.init 8 (fun fu ->
+       if fu < 4 then B.d (B.load (B.imm (a_base + fu)) (o "r4i") ak.(fu))
+       else
+         let k = fu - 4 in
+         B.d (B.load (B.imm (b_base + (4 * k))) (o "rj") bk.(k))));
+  B.row t
+    [ B.d (B.fmult (B.rop ak.(0)) (B.rop bk.(0)) pk.(0));
+      B.d (B.fmult (B.rop ak.(1)) (B.rop bk.(1)) pk.(1));
+      B.d (B.fmult (B.rop ak.(2)) (B.rop bk.(2)) pk.(2));
+      B.d (B.fmult (B.rop ak.(3)) (B.rop bk.(3)) pk.(3));
+      B.d (B.iadd (o "r4i") (o "rj") cidx);
+      B.d (B.iadd (o "rj") (B.imm 1) rj);
+      B.d (B.lt (o "rj") (B.imm 3));
+      B.d (B.lt (o "r4i") (B.imm 12)) ];
+  B.row t
+    [ B.d (B.fadd (B.rop pk.(0)) (B.rop pk.(1)) s0);
+      B.d (B.fadd (B.rop pk.(2)) (B.rop pk.(3)) s1);
+      B.d (B.iadd (o "cidx") (B.imm c_base) ca) ];
+  B.row t [ B.d (B.fadd (o "s0") (o "s1") cv) ];
+  B.row t
+    ~ctl:(B.if_cc 6 (B.lbl "jloop") (B.lbl "nexti"))
+    [ B.d (B.store (o "cv") (o "ca")) ];
+  B.label t "nexti";
+  B.row t
+    ~ctl:(B.if_cc 7 (B.lbl "jloop") (B.lbl "end"))
+    [ B.d (B.iadd (o "r4i") (B.imm 4) r4i); B.d (B.mov (B.imm 0) rj) ];
+  B.label t "end";
+  B.halt_row t;
+  B.build t
+
+let gen seed i = f32 (float_of_int (((i * 13) + seed) mod 9 - 4) /. 2.0)
+
+let reference a b =
+  Array.init 16 (fun idx ->
+    let i = idx / 4 and j = idx mod 4 in
+    let p k = f32 (a.((4 * i) + k) *. b.((4 * k) + j)) in
+    f32 (f32 (p 0 +. p 1) +. f32 (p 2 +. p 3)))
+
+let make ?(seed = 7) () =
+  let program = build () in
+  let a = Array.init 16 (gen seed) in
+  let b = Array.init 16 (gen (seed + 3)) in
+  let expected = reference a b in
+  let config = Ximd_core.Config.make ~n_fus:8 () in
+  let setup (state : Ximd_core.State.t) =
+    Array.iteri
+      (fun i v -> Ximd_core.State.mem_set state (a_base + i)
+          (Value.of_float v))
+      a;
+    Array.iteri
+      (fun i v -> Ximd_core.State.mem_set state (b_base + i)
+          (Value.of_float v))
+      b
+  in
+  let check (state : Ximd_core.State.t) =
+    let rec loop i =
+      if i >= 16 then Ok ()
+      else
+        let got = Value.to_float (Ximd_core.State.mem_get state (c_base + i)) in
+        if got = expected.(i) then loop (i + 1)
+        else
+          Error
+            (Printf.sprintf "C[%d][%d]: expected %h, got %h" (i / 4) (i mod 4)
+               expected.(i) got)
+    in
+    loop 0
+  in
+  let variant sim = { Workload.sim; program; config; setup; check } in
+  { Workload.name = "matmul";
+    description = "4x4 float matrix multiply, one dot product per 5 cycles";
+    ximd = variant Workload.Ximd;
+    vliw = Some (variant Workload.Vliw) }

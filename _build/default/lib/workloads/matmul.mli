@@ -1,0 +1,16 @@
+(** MATMUL — 4×4 single-precision matrix multiply.
+
+    A dense, fully data-parallel kernel: each result element is one
+    4-term dot product, scheduled across all 8 functional units (8 loads
+    in one cycle, 4 multiplies, a 2-level adder tree, one store).  The
+    program is a single synchronous instruction stream throughout, so the
+    XIMD and VLIW variants share the same code and the expected speedup
+    is exactly 1.0 — the "VLIW-equivalent" end of the XIMD operating
+    range (paper §3.1). *)
+
+val a_base : int
+val b_base : int
+val c_base : int
+
+val make : ?seed:int -> unit -> Workload.t
+(** Fixed pseudo-random 4×4 operands derived from [seed] (default 7). *)

@@ -1,0 +1,184 @@
+open Ximd_isa
+module B = Ximd_asm.Builder
+
+type finish = Spin | Halt
+
+let paper_data = [| 5; 3; 4; 7 |]
+
+let z_base = 0x100
+(* IZ(1) lives at [z_base]; IZ(i) at [z_base + i - 1]. *)
+
+let maxint = Int32.to_int Int32.max_int
+let minint = Int32.to_int Int32.min_int
+
+(* The paper's listing, address for address (Example 2). *)
+let build_ximd finish =
+  let t = B.create ~n_fus:4 in
+  let o name = B.reg_op t name and r name = B.reg t name in
+  let k = r "k" and tn = r "tn" and tz = r "tz" in
+  let min_ = r "min" and max_ = r "max" in
+  let ok = o "k" and on = o "n" and otn = o "tn" and otz = o "tz" in
+  let omin = o "min" and omax = o "max" in
+  let z = B.imm z_base in
+  (* 00: *)
+  B.row t
+    [ B.d (B.load z (B.imm 0) tz); B.d (B.iadd (B.imm 1) (B.imm 0) k);
+      B.d (B.lt on (B.imm 2)); B.d (B.iadd on (B.imm 0) tn) ];
+  (* 01: *)
+  B.row t
+    ~ctl:(B.if_cc 2 (B.lbl "l08") (B.lbl "l02"))
+    [ B.d (B.lt otz (B.imm maxint)); B.d (B.gt otz (B.imm minint));
+      B.d B.nop; B.d (B.isub otn (B.imm 1) tn) ];
+  (* 02: *)
+  B.label t "l02";
+  B.row t
+    [ B.sp ~ctl:(B.goto (B.lbl "l03")) B.nop;
+      B.sp ~ctl:(B.goto (B.lbl "l03")) B.nop;
+      B.sp ~ctl:(B.if_cc 0 (B.lbl "l04") (B.lbl "l03")) (B.eq ok otn);
+      B.sp ~ctl:(B.if_cc 1 (B.lbl "l04") (B.lbl "l03")) B.nop ];
+  (* 03: *)
+  B.label t "l03";
+  B.row t
+    ~ctl:(B.goto (B.lbl "l05"))
+    [ B.d (B.load z ok tz); B.d (B.iadd (B.imm 1) ok k) ];
+  (* 04: *)
+  B.label t "l04";
+  B.row t
+    ~ctl:(B.goto (B.lbl "l05"))
+    [ B.d B.nop; B.d B.nop; B.d (B.iadd otz (B.imm 0) min_);
+      B.d (B.iadd otz (B.imm 0) max_) ];
+  (* 05: *)
+  B.label t "l05";
+  B.row t
+    ~ctl:(B.if_cc 2 (B.lbl "l08") (B.lbl "l02"))
+    [ B.d (B.lt otz omin); B.d (B.gt otz omax) ];
+  B.pad_to t 0x08;
+  (* 08: *)
+  B.label t "l08";
+  B.row t
+    [ B.sp ~ctl:(B.goto (B.lbl "l0a")) B.nop;
+      B.sp ~ctl:(B.goto (B.lbl "l0a")) B.nop;
+      B.sp ~ctl:(B.if_cc 0 (B.lbl "l09") (B.lbl "l0a")) B.nop;
+      B.sp ~ctl:(B.if_cc 1 (B.lbl "l09") (B.lbl "l0a")) B.nop ];
+  (* 09: *)
+  B.label t "l09";
+  B.row t
+    ~ctl:(B.goto (B.lbl "l0a"))
+    [ B.d B.nop; B.d B.nop; B.d (B.iadd otz (B.imm 0) min_);
+      B.d (B.iadd otz (B.imm 0) max_) ];
+  (* 0a: *)
+  B.label t "l0a";
+  (match finish with
+   | Spin -> B.row t ~ctl:(B.goto B.self) []
+   | Halt -> B.halt_row t);
+  let n = r "n" in
+  (B.build t, (n, min_, max_))
+
+(* A straightforward VLIW coding: the two conditional updates become two
+   sequential branch/update pairs, since a VLIW "can generally only
+   perform one control operation at a time" (paper §3.2). *)
+let build_vliw () =
+  let t = B.create ~n_fus:4 in
+  let o name = B.reg_op t name and r name = B.reg t name in
+  let k = r "k" and tz = r "tz" in
+  let min_ = r "min" and max_ = r "max" in
+  let ok = o "k" and on = o "n" and otz = o "tz" in
+  let omin = o "min" and omax = o "max" in
+  let z = B.imm z_base in
+  B.row t
+    [ B.d (B.mov (B.imm maxint) min_); B.d (B.mov (B.imm minint) max_);
+      B.d (B.mov (B.imm 0) k) ];
+  B.label t "loop";
+  B.row t [ B.d (B.load z ok tz); B.d (B.iadd ok (B.imm 1) k) ];
+  B.row t [ B.d (B.lt otz omin); B.d (B.gt otz omax); B.d (B.eq ok on) ];
+  B.row t ~ctl:(B.if_cc 0 (B.lbl "upd_min") (B.lbl "t3")) [];
+  B.label t "upd_min";
+  B.row t ~ctl:(B.goto (B.lbl "t3")) [ B.d (B.mov otz min_) ];
+  B.label t "t3";
+  B.row t ~ctl:(B.if_cc 1 (B.lbl "upd_max") (B.lbl "t4")) [];
+  B.label t "upd_max";
+  B.row t ~ctl:(B.goto (B.lbl "t4")) [ B.d (B.mov otz max_) ];
+  B.label t "t4";
+  B.row t ~ctl:(B.if_cc 2 (B.lbl "end") (B.lbl "loop")) [];
+  B.label t "end";
+  B.halt_row t;
+  let n = r "n" in
+  (B.build t, (n, min_, max_))
+
+let reference data =
+  Array.fold_left
+    (fun (lo, hi) x -> ((if x < lo then x else lo), if x > hi then x else hi))
+    (data.(0), data.(0))
+    data
+
+let check_minmax data (rmin, rmax) (state : Ximd_core.State.t) =
+  let lo, hi = reference data in
+  let got r = Value.to_int (Ximd_machine.Regfile.read state.regs r) in
+  if got rmin <> lo then
+    Error (Printf.sprintf "min: expected %d, got %d" lo (got rmin))
+  else if got rmax <> hi then
+    Error (Printf.sprintf "max: expected %d, got %d" hi (got rmax))
+  else Ok ()
+
+let setup_data data rn (state : Ximd_core.State.t) =
+  Ximd_machine.Regfile.set state.regs rn (Value.of_int (Array.length data));
+  Array.iteri
+    (fun i x ->
+      Ximd_machine.Memory.set state.mem (z_base + i) (Value.of_int x))
+    data
+
+let validate_data data =
+  if Array.length data < 2 then
+    invalid_arg "Minmax.make: the paper's code requires n >= 2";
+  if data.(0) <= minint || data.(0) >= maxint then
+    invalid_arg "Minmax.make: first element must initialise min and max"
+
+let make ?(data = paper_data) () =
+  validate_data data;
+  let x_program, (xn, xmin, xmax) = build_ximd Halt in
+  let v_program, (vn, vmin, vmax) = build_vliw () in
+  let config = Ximd_core.Config.make ~n_fus:4 () in
+  { Workload.name = "minmax";
+    description =
+      "Example 2: parallel min/max search with implicit barrier sync";
+    ximd =
+      { Workload.sim = Workload.Ximd; program = x_program; config;
+        setup = setup_data data xn;
+        check = check_minmax data (xmin, xmax) };
+    vliw =
+      Some
+        { Workload.sim = Workload.Vliw; program = v_program; config;
+          setup = setup_data data vn;
+          check = check_minmax data (vmin, vmax) } }
+
+let paper_variant () =
+  let program, (rn, rmin, rmax) = build_ximd Spin in
+  let config = Ximd_core.Config.make ~n_fus:4 ~max_cycles:14 () in
+  { Workload.sim = Workload.Ximd; program; config;
+    setup = setup_data paper_data rn;
+    check = check_minmax paper_data (rmin, rmax) }
+
+let figure10_expected =
+  [ ([ 0x00; 0x00; 0x00; 0x00 ], "XXXX", "{0,1,2,3}");
+    ([ 0x01; 0x01; 0x01; 0x01 ], "XXFX", "{0,1,2,3}");
+    ([ 0x02; 0x02; 0x02; 0x02 ], "TTFX", "{0,1,2,3}");
+    ([ 0x03; 0x03; 0x04; 0x04 ], "TTFX", "{0,1}{2}{3}");
+    ([ 0x05; 0x05; 0x05; 0x05 ], "TTFX", "{0,1,2,3}");
+    ([ 0x02; 0x02; 0x02; 0x02 ], "TFFX", "{0,1,2,3}");
+    ([ 0x03; 0x03; 0x04; 0x03 ], "TFFX", "{0,1}{2}{3}");
+    ([ 0x05; 0x05; 0x05; 0x05 ], "TFFX", "{0,1,2,3}");
+    ([ 0x02; 0x02; 0x02; 0x02 ], "FFFX", "{0,1,2,3}");
+    ([ 0x03; 0x03; 0x03; 0x03 ], "FFTX", "{0,1}{2}{3}");
+    ([ 0x05; 0x05; 0x05; 0x05 ], "FFTX", "{0,1,2,3}");
+    ([ 0x08; 0x08; 0x08; 0x08 ], "FTTX", "{0,1,2,3}");
+    ([ 0x0a; 0x0a; 0x0a; 0x09 ], "FTTX", "{0,1}{2}{3}");
+    ([ 0x0a; 0x0a; 0x0a; 0x0a ], "FTTX", "{0,1,2,3}") ]
+
+let figure10_comments =
+  [ (0, "Load initial values"); (1, "compare to maxint, minint");
+    (2, "Branch - form 3 threads"); (3, "Update min & max");
+    (4, "compare next element"); (5, "Branch - form 3 threads");
+    (6, "Update min"); (7, "compare next element");
+    (8, "Branch - form 3 threads"); (9, "No update");
+    (10, "compare last element"); (11, "Branch - form 3 threads");
+    (12, "Update max"); (13, "Finished") ]

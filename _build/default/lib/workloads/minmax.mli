@@ -1,0 +1,49 @@
+(** MINMAX — the paper's Example 2 ("Implicit Barrier Synchronization")
+    and Figure 10 (its address trace).
+
+    {v
+    max = minint
+    min = maxint
+    DO 99 k = 1,n
+        IF (IZ(k).LT.min) min = IZ(k)
+        IF (IZ(k).GT.max) max = IZ(k)
+    99 CONTINUE
+    v}
+
+    The XIMD coding executes both data-dependent conditional updates in
+    parallel by forking into three SSETs for one cycle per iteration; all
+    branch paths have equal length, so the threads re-join without
+    explicit synchronisation.  The program is transcribed
+    address-for-address from the paper (rows 00:–05:, 08:–0a:; 06:–07:
+    are unused filler).
+
+    Constraints inherited from the paper's code: [n >= 2], and the first
+    element must lie strictly between minint and maxint (it initialises
+    both [min] and [max] via its compares against those constants). *)
+
+type finish =
+  | Spin  (** row 0a: branches to itself forever — the paper's listing,
+              used for the Figure 10 trace (run with bounded fuel) *)
+  | Halt  (** row 0a: halts, for checked runs and comparisons *)
+
+val paper_data : int array
+(** [(5, 3, 4, 7)] — the sample data set of Figure 10. *)
+
+val make : ?data:int array -> unit -> Workload.t
+(** XIMD (paper transcription, [Halt] finish) and VLIW (serialised
+    conditional updates) variants over [data] (default {!paper_data}).
+    Results are checked against the array min/max. *)
+
+val paper_variant : unit -> Workload.variant
+(** The exact Figure 10 setup: IZ = (5,3,4,7), [Spin] finish, fuel of 14
+    cycles — running it traces precisely the 14 rows of Figure 10. *)
+
+val figure10_expected : (int list * string * string) list
+(** Figure 10 transcribed from the paper: per cycle, the FU addresses,
+    the condition-code column, and the partition (in {!Ximd_core.Partition}
+    notation).  Cycle 11's ["FITX"] in the printed paper is the obvious
+    OCR artefact for ["FTTX"] (cc1 is set to TRUE by [gt 7,max] in cycle
+    10); we record the corrected value. *)
+
+val figure10_comments : (int * string) list
+(** The "Comment" column of Figure 10, by cycle. *)

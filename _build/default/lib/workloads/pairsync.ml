@@ -1,0 +1,171 @@
+open Ximd_isa
+module B = Ximd_asm.Builder
+
+let seg_base i = 0x900 + (i * 64)
+let result_addr = 0x8f0
+
+let gen_value i = ((i * 29) + 11) mod 50
+
+(* One real parcel on FU [fu]; fillers share the row control. *)
+let trow t ~fu ?ctl ?sync data =
+  B.row t ?ctl
+    (List.init (fu + 1) (fun j ->
+       if j = fu then B.sp ?sync data else B.sp B.nop))
+
+(* Signal protocol (each SS bit keeps ONE meaning for the whole run, as
+   Figure 12 prescribes — no transient reuse):
+   - odd FU's DONE  = "my phase-1 sum is published" (driven forever once
+     set, while spinning until the program ends);
+   - even FU's DONE = "my pair is completely finished" (driven only at
+     the final barrier row).
+   The pair synchronisation is the even member waiting on its partner's
+   signal ([if ss<odd> ...]); the final barrier is a masked ALL over the
+   even FUs.  The [~masked:false] comparison variant makes each even
+   member wait for ALL odd signals instead of just its partner's —
+   same computation, coarser synchronisation. *)
+let build ~masked =
+  let t = B.create ~n_fus:8 in
+  let r name = B.reg t name in
+  let o name = B.rop (r name) in
+  let sums = Array.init 8 (fun i -> r (Printf.sprintf "s%d" i)) in
+  let pair_counts = Array.init 4 (fun p -> r (Printf.sprintf "pc%d" p)) in
+  let evens = [ 0; 2; 4; 6 ] and odds = [ 1; 3; 5; 7 ] in
+  (* Entry: everyone to their own phase-1 loop. *)
+  B.row t
+    (List.init 8 (fun i ->
+       B.sp ~ctl:(B.goto (B.lbl (Printf.sprintf "p1_%d" i))) B.nop));
+  for i = 0 to 7 do
+    let k = r (Printf.sprintf "k%d" i) and x = r (Printf.sprintf "x%d" i) in
+    let len = o (Printf.sprintf "len%d" i) in
+    let lbl name = B.lbl (Printf.sprintf "%s_%d" name i) in
+    (* Phase 1: s_i = sum of this FU's segment. *)
+    B.label t (Printf.sprintf "p1_%d" i);
+    trow t ~fu:i (B.load (B.imm (seg_base i)) (B.rop k) x);
+    trow t ~fu:i (B.iadd (B.rop sums.(i)) (B.rop x) sums.(i));
+    trow t ~fu:i (B.iadd (B.rop k) (B.imm 1) k);
+    trow t ~fu:i (B.lt (B.rop k) len);
+    trow t ~fu:i
+      ~ctl:(B.if_cc i (lbl "p1") (lbl "next"))
+      B.nop;
+    B.label t (Printf.sprintf "next_%d" i);
+    if i mod 2 = 1 then
+      (* Odd: publish "sum ready" forever; leave when the even FUs all
+         report their pairs finished. *)
+      trow t ~fu:i ~sync:Sync.Done
+        ~ctl:(B.if_all_ss ~fus:evens t (B.lbl "final") (lbl "next"))
+        B.nop
+    else begin
+      let pair = i / 2 in
+      (* Wait for the partner's sum (or, unmasked, for every odd). *)
+      let wait_cond =
+        if masked then B.if_ss (i + 1) (lbl "comb") (lbl "next")
+        else B.if_all_ss ~fus:odds t (lbl "comb") (lbl "next")
+      in
+      trow t ~fu:i ~ctl:wait_cond B.nop;
+      B.label t (Printf.sprintf "comb_%d" i);
+      let tp = r (Printf.sprintf "tp%d" pair) in
+      trow t ~fu:i (B.iadd (B.rop sums.(i)) (B.rop sums.(i + 1)) tp);
+      trow t ~fu:i (B.store (B.rop tp) (B.imm (result_addr + 1 + pair)));
+      (* Phase 2: a per-pair amount of private work (its length is an
+         input, so a pair can have little phase-1 data yet much phase-2
+         work — which is where partner-only waiting pays off). *)
+      let c = r (Printf.sprintf "c%d" pair) in
+      trow t ~fu:i (B.mov (o (Printf.sprintf "p2len%d" pair)) c);
+      B.label t (Printf.sprintf "p2_%d" i);
+      trow t ~fu:i (B.gt (B.rop c) (B.imm 0));
+      trow t ~fu:i ~ctl:(B.if_cc i (lbl "p2body") (B.lbl "evdone")) B.nop;
+      B.label t (Printf.sprintf "p2body_%d" i);
+      trow t ~fu:i (B.isub (B.rop c) (B.imm 1) c);
+      trow t ~fu:i
+        ~ctl:(B.goto (lbl "p2"))
+        (B.iadd (B.rop pair_counts.(pair)) (B.imm 1) pair_counts.(pair))
+    end
+  done;
+  (* Even FUs gather here, publishing "pair finished" until all four
+     pairs are. *)
+  B.label t "evdone";
+  B.row t ~sync:Sync.Done
+    ~ctl:(B.if_all_ss ~fus:evens t (B.lbl "final") (B.lbl "evdone")) [];
+  (* Grand total on the full machine. *)
+  B.label t "final";
+  B.row t
+    [ B.d (B.iadd (B.rop pair_counts.(0)) (B.rop pair_counts.(1)) (r "u0"));
+      B.d (B.iadd (B.rop pair_counts.(2)) (B.rop pair_counts.(3)) (r "u1"))
+    ];
+  B.row t [ B.d (B.iadd (o "u0") (o "u1") (r "grand")) ];
+  B.row t [ B.d (B.store (o "grand") (B.imm result_addr)) ];
+  B.halt_row t;
+  let len_regs = Array.init 8 (fun i -> r (Printf.sprintf "len%d" i)) in
+  let p2_regs = Array.init 4 (fun p -> r (Printf.sprintf "p2len%d" p)) in
+  (B.build t, len_regs, p2_regs)
+
+(* Reference: per-pair sums stored to memory, plus the grand count. *)
+let reference_sum lengths i =
+  let acc = ref 0 in
+  for j = 0 to lengths.(i) - 1 do
+    acc := !acc + gen_value ((i * 64) + j)
+  done;
+  !acc
+
+let default_lengths = [| 2; 3; 40; 38; 4; 5; 30; 28 |]
+let default_phase2 = [| 30; 8; 25; 6 |]
+
+let make ?(masked = true) ?(lengths = default_lengths)
+    ?(phase2 = default_phase2) () =
+  if Array.length lengths <> 8 then
+    invalid_arg "Pairsync.make: exactly 8 segment lengths";
+  Array.iter
+    (fun l ->
+      if l < 1 || l > 64 then
+        invalid_arg "Pairsync.make: lengths must be in [1, 64]")
+    lengths;
+  if Array.length phase2 <> 4 then
+    invalid_arg "Pairsync.make: exactly 4 phase-2 lengths";
+  let program, len_regs, p2_regs = build ~masked in
+  let config = Ximd_core.Config.make ~n_fus:8 () in
+  let setup (state : Ximd_core.State.t) =
+    Array.iteri
+      (fun i l ->
+        Ximd_machine.Regfile.set state.regs len_regs.(i) (Value.of_int l);
+        for j = 0 to l - 1 do
+          Ximd_core.State.mem_set state
+            (seg_base i + j)
+            (Value.of_int (gen_value ((i * 64) + j)))
+        done)
+      lengths;
+    Array.iteri
+      (fun p c ->
+        Ximd_machine.Regfile.set state.regs p2_regs.(p) (Value.of_int c))
+      phase2
+  in
+  let check (state : Ximd_core.State.t) =
+    let expected_total = Array.fold_left ( + ) 0 phase2 in
+    let got = Value.to_int (Ximd_core.State.mem_get state result_addr) in
+    if got <> expected_total then
+      Error
+        (Printf.sprintf "grand total: expected %d, got %d" expected_total got)
+    else begin
+      let rec pairs p =
+        if p >= 4 then Ok ()
+        else
+          let expected =
+            reference_sum lengths (2 * p) + reference_sum lengths ((2 * p) + 1)
+          in
+          let got =
+            Value.to_int
+              (Ximd_core.State.mem_get state (result_addr + 1 + p))
+          in
+          if got = expected then pairs (p + 1)
+          else
+            Error
+              (Printf.sprintf "pair %d sum: expected %d, got %d" p expected
+                 got)
+      in
+      pairs 0
+    end
+  in
+  { Workload.name = (if masked then "pairsync" else "pairsync-full");
+    description =
+      "partial barriers among thread pairs (masked ALL-sync, paper 3.3)";
+    ximd = { Workload.sim = Workload.Ximd; program; config; setup; check };
+    vliw = None }

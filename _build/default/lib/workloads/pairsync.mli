@@ -1,0 +1,39 @@
+(** PAIRSYNC — partial barriers among subsets of threads (paper §3.3).
+
+    "The barrier synchronization mechanism can be generalized to include
+    synchronizations between only some of the program threads, rather
+    than all of them.  Also, multiple barrier synchronizations can take
+    place among different program threads."
+
+    Eight width-1 threads (one per FU) sum private array segments of
+    varying lengths (phase 1).  Threads pair up — (0,1), (2,3), (4,5),
+    (6,7).  Each odd member publishes "my sum is ready" on its
+    synchronisation signal (one stable meaning per bit, as Figure 12
+    prescribes); each even member waits for {e just its partner's}
+    signal, combines the pair's sums, stores them, and runs a private
+    phase-2 loop of a per-pair length.  A masked ALL over the even FUs
+    forms the final barrier before the grand total.
+
+    Because an even member waits only on its partner, a pair with quick
+    phase-1 inputs but heavy phase-2 work starts that work while slower
+    pairs are still summing.  The [~masked:false] variant makes every
+    even member wait for ALL odd signals — same computation, coarser
+    synchronisation — so the value of subset masks is directly
+    measurable: with skewed inputs the masked coding finishes first. *)
+
+val seg_base : int -> int
+(** Base address of thread [i]'s segment. *)
+
+val result_addr : int
+(** Where the grand total is stored. *)
+
+val make :
+  ?masked:bool -> ?lengths:int array -> ?phase2:int array -> unit ->
+  Workload.t
+(** [lengths] gives the eight segment lengths and [phase2] the four
+    per-pair phase-2 trip counts (defaults: skewed pairs).  Segment
+    values are a fixed pseudo-random sequence.  Both variants run on the
+    XIMD simulator; the VLIW slot of the returned workload is [None]
+    (the comparison here is masked vs unmasked, via two calls).
+    @raise Invalid_argument unless exactly 8 lengths in [1, 64] and
+    exactly 4 phase-2 counts. *)

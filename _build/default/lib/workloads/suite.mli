@@ -1,0 +1,28 @@
+(** The §4.1 comparison suite.
+
+    The paper reports that programs "will be simulated on both the VLIW
+    and XIMD architectures" and that "preliminary results show a
+    significant performance increase on many programs".  This module
+    fixes the concrete program list used for that experiment (E5 in
+    DESIGN.md) and computes the comparison table. *)
+
+type row = {
+  name : string;
+  description : string;
+  ximd_cycles : int;
+  vliw_cycles : int;
+  speedup : float;
+  ximd_max_streams : int;
+  ximd_utilisation : float;
+  vliw_utilisation : float;
+}
+
+val all : unit -> Workload.t list
+(** tproc, ll1, ll3, ll5, ll12, matmul, minmax, bitcount, classify,
+    iosync — parity-shaped workloads first, control-parallel ones last. *)
+
+val measure : Workload.t -> (row, string) result
+(** Runs and checks both variants, collecting cycles and statistics. *)
+
+val table : unit -> (row list, string) result
+(** {!measure} over {!all}; fails on the first failing workload. *)

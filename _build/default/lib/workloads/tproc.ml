@@ -1,0 +1,57 @@
+open Ximd_isa
+module B = Ximd_asm.Builder
+
+let body_cycles = 5
+
+let reference ~a ~b ~c ~d =
+  let open Int32 in
+  let e = add a b in
+  let f = add e (mul c a) in
+  let g = sub a (add b c) in
+  let e = sub d e in
+  add (add (add (add a b) c) (add d e)) (add f g)
+
+let build () =
+  let t = B.create ~n_fus:4 in
+  let r name = B.reg t name and o name = B.reg_op t name in
+  let a = r "a" and b = r "b" and c = r "c" and d = r "d" in
+  let e = r "e" and f = r "f" and g = r "g" in
+  let oa = o "a" and ob = o "b" and oc = o "c" and od = o "d" in
+  let oe = o "e" and of_ = o "f" and og = o "g" in
+  (* 00: *) B.row t [ B.d (B.iadd oa ob e); B.d (B.imult oc oa f);
+                      B.d (B.iadd oc ob g) ];
+  (* 01: *) B.row t [ B.d (B.iadd of_ oe f); B.d (B.isub oa og g);
+                      B.d (B.iadd oe oc a); B.d (B.isub od oe e) ];
+  (* 02: *) B.row t [ B.d (B.iadd oa od a); B.d (B.iadd of_ og g) ];
+  (* 03: *) B.row t [ B.d (B.iadd oa oe a) ];
+  (* 04: *) B.row t [ B.d (B.iadd oa og f) ];
+  B.halt_row t;
+  (B.build t, (a, b, c, d), f)
+
+let make ?(a = 3) ?(b = 5) ?(c = 7) ?(d = 11) () =
+  let program, (ra, rb, rc, rd), rf = build () in
+  let config = Ximd_core.Config.make ~n_fus:4 () in
+  let setup (state : Ximd_core.State.t) =
+    let set r v =
+      Ximd_machine.Regfile.set state.regs r (Value.of_int v)
+    in
+    set ra a; set rb b; set rc c; set rd d
+  in
+  let expected =
+    reference ~a:(Int32.of_int a) ~b:(Int32.of_int b) ~c:(Int32.of_int c)
+      ~d:(Int32.of_int d)
+  in
+  let check (state : Ximd_core.State.t) =
+    let got = Value.to_int32 (Ximd_machine.Regfile.read state.regs rf) in
+    if Int32.equal got expected then Ok ()
+    else
+      Error
+        (Printf.sprintf "tproc: expected %ld, got %ld" expected got)
+  in
+  let variant sim =
+    { Workload.sim; program; config; setup; check }
+  in
+  { Workload.name = "tproc";
+    description = "Example 1: percolation-scheduled scalar code (5 cycles)";
+    ximd = variant Workload.Ximd;
+    vliw = Some (variant Workload.Vliw) }

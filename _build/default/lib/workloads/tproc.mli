@@ -1,0 +1,30 @@
+(** TPROC — the paper's Example 1.
+
+    A small fragment of scalar code compiled by a Percolation-Scheduling
+    compiler into a 5-cycle, 4-functional-unit VLIW-style schedule:
+
+    {v
+    tproc(a,b,c,d) {
+      int e,f,g;
+      e = a + b;
+      f = e + c * a;
+      g = a - (b + c);
+      e = d - e;
+      return (a + b + c) + d + e + (f + g);
+    }
+    v}
+
+    Because the schedule is a single SSET throughout, the XIMD and VLIW
+    codings are the same program; the paper's point is that VLIW-style
+    code runs "just as efficiently on the XIMD as on a VLIW machine". *)
+
+val reference : a:int32 -> b:int32 -> c:int32 -> d:int32 -> int32
+(** The source-level function, computed with 32-bit wraparound. *)
+
+val make : ?a:int -> ?b:int -> ?c:int -> ?d:int -> unit -> Workload.t
+(** Defaults: a=3, b=5, c=7, d=11.  The result is checked against
+    {!reference}; the schedule body is 5 instructions (plus one halt
+    row). *)
+
+val body_cycles : int
+(** 5 — the paper's schedule length, excluding the halt row. *)

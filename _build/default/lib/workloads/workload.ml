@@ -1,0 +1,51 @@
+open Ximd_core
+
+type simulator = Ximd | Vliw
+
+type variant = {
+  sim : simulator;
+  program : Program.t;
+  config : Config.t;
+  setup : State.t -> unit;
+  check : State.t -> (unit, string) result;
+}
+
+type t = {
+  name : string;
+  description : string;
+  ximd : variant;
+  vliw : variant option;
+}
+
+let run ?tracer variant =
+  let state = State.create ~config:variant.config variant.program in
+  variant.setup state;
+  let outcome =
+    match variant.sim with
+    | Ximd -> Xsim.run ?tracer state
+    | Vliw -> Vsim.run ?tracer state
+  in
+  (outcome, state)
+
+let run_checked ?tracer variant =
+  let outcome, state = run ?tracer variant in
+  match outcome with
+  | Run.Fuel_exhausted { cycles } ->
+    Error (Printf.sprintf "fuel exhausted after %d cycles" cycles)
+  | Run.Halted _ -> (
+    match variant.check state with
+    | Ok () -> Ok (outcome, state)
+    | Error msg -> Error ("check failed: " ^ msg))
+
+let speedup t =
+  match t.vliw with
+  | None -> Error "no VLIW variant"
+  | Some vliw -> (
+    match run_checked t.ximd with
+    | Error msg -> Error ("ximd: " ^ msg)
+    | Ok (x_outcome, _) -> (
+      match run_checked vliw with
+      | Error msg -> Error ("vliw: " ^ msg)
+      | Ok (v_outcome, _) ->
+        let xc = Run.cycles x_outcome and vc = Run.cycles v_outcome in
+        Ok (float_of_int vc /. float_of_int xc, xc, vc)))

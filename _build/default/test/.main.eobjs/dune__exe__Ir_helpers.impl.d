@@ -1,0 +1,1 @@
+test/ir_helpers.ml: Ximd_compiler

@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Tasm Tbitcount Tcompiler Tcore Tgolden Tisa Tkernelgen Tlang Tlatency Tmachine Tmisc Tmore Tpairsync Tprops Tproto Tsuite Tt500 Tthreader Tworkloads

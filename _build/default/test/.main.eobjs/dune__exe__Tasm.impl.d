@@ -1,0 +1,1 @@
+test/tasm.ml: Alcotest Cond Control Format List Opcode Operand Parcel Reg Sync Value Ximd_asm Ximd_core Ximd_isa Ximd_workloads

@@ -1,0 +1,1 @@
+test/tbitcount.ml: Alcotest Array Bitcount Int32 List Workload Ximd_core Ximd_isa Ximd_workloads

@@ -1,0 +1,1 @@
+test/tcompiler.ml: Alcotest Array List Opcode Printf Reg String Value Ximd_compiler Ximd_core Ximd_isa Ximd_machine Ximd_workloads

@@ -1,0 +1,1 @@
+test/tcore.ml: Alcotest Array Bytes Cond Control List Printf String Sync Value Ximd_asm Ximd_core Ximd_isa Ximd_machine Ximd_workloads

@@ -1,0 +1,1 @@
+test/tgolden.ml: Alcotest Array List Minmax Printf Tproc Workload Ximd_core Ximd_workloads

@@ -1,0 +1,1 @@
+test/tisa.ml: Alcotest Bytes Cond Control Encode Int64 List Opcode Operand Option Parcel Printf Reg Sync Value Ximd_isa

@@ -1,0 +1,1 @@
+test/tkernelgen.ml: Alcotest Hashtbl List Opcode Printf Value Ximd_compiler Ximd_core Ximd_isa Ximd_machine

@@ -1,0 +1,1 @@
+test/tlatency.ml: Alcotest Format List Printf String Value Ximd_compiler Ximd_core Ximd_isa Ximd_machine

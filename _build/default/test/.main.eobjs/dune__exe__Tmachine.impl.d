@@ -1,0 +1,1 @@
+test/tmachine.ml: Alcotest Int32 List Opcode Reg Value Ximd_isa Ximd_machine

@@ -1,0 +1,1 @@
+test/tmisc.ml: Alcotest Format List Reg String Ximd_asm Ximd_core Ximd_isa Ximd_machine Ximd_workloads

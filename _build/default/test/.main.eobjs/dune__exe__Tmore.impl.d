@@ -1,0 +1,1 @@
+test/tmore.ml: Alcotest Bytes Encode Format List Opcode String Value Ximd_compiler Ximd_core Ximd_isa Ximd_machine Ximd_workloads

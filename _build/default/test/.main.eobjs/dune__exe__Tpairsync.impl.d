@@ -1,0 +1,1 @@
+test/tpairsync.ml: Alcotest Array List Pairsync Workload Ximd_core Ximd_workloads

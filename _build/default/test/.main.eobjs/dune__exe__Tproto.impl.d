@@ -1,0 +1,1 @@
+test/tproto.ml: Alcotest Value Ximd_asm Ximd_core Ximd_isa Ximd_machine Ximd_workloads

@@ -1,0 +1,1 @@
+test/tsuite.ml: Alcotest Lazy List Printf Suite Ximd_workloads

@@ -1,0 +1,1 @@
+test/tt500.ml: Alcotest Value Ximd_asm Ximd_core Ximd_isa Ximd_machine Ximd_workloads

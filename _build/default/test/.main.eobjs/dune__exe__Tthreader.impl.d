@@ -1,0 +1,1 @@
+test/tthreader.ml: Alcotest List Opcode Printf String Value Ximd_compiler Ximd_core Ximd_isa

@@ -1,0 +1,1 @@
+test/tworkloads.ml: Alcotest Array Classify Int32 Iosync List Livermore Matmul Minmax Tproc Workload Ximd_core Ximd_workloads

@@ -1,0 +1,7 @@
+(* Small constructors for random-IR generation in the property tests. *)
+
+module C = Ximd_compiler
+
+let bin op a b d = C.Ir.Bin (op, C.Ir.V a, C.Ir.V b, d)
+let load a d = C.Ir.Load (C.Ir.V a, C.Ir.C 0l, d)
+let store a b = C.Ir.Store (C.Ir.V a, C.Ir.V b)

@@ -1,0 +1,314 @@
+(* Unit tests for the ISA layer: values, registers, operands, opcodes,
+   conditions, control operations, parcels and the bit-level encoding. *)
+
+open Ximd_isa
+
+let value = Alcotest.testable Value.pp Value.equal
+
+(* --- Value ----------------------------------------------------------- *)
+
+let test_value_int_roundtrip () =
+  List.iter
+    (fun n ->
+      Alcotest.(check int) (string_of_int n) n (Value.to_int (Value.of_int n)))
+    [ 0; 1; -1; 42; -12345; 0x7fffffff; -0x80000000 ]
+
+let test_value_int_wraps () =
+  (* OCaml ints wider than 32 bits truncate two's-complement style. *)
+  Alcotest.check value "2^32 + 5 wraps" (Value.of_int 5)
+    (Value.of_int ((1 lsl 32) + 5));
+  Alcotest.(check int) "2^31 wraps negative" (-0x80000000)
+    (Value.to_int (Value.of_int 0x80000000))
+
+let test_value_float_single_precision () =
+  (* 0.1 is not representable: round-tripping through a value must give
+     the float32 rounding, not the double. *)
+  let v = Value.of_float 0.1 in
+  Alcotest.(check bool) "float32 0.1 <> double 0.1"
+    true (Value.to_float v <> 0.1);
+  Alcotest.(check (float 1e-7)) "close to 0.1" 0.1 (Value.to_float v);
+  (* Exactly representable values survive. *)
+  List.iter
+    (fun f ->
+      Alcotest.(check (float 0.)) (string_of_float f) f
+        (Value.to_float (Value.of_float f)))
+    [ 0.0; 1.0; -2.5; 1024.0; 0.125 ]
+
+let test_value_truth () =
+  Alcotest.(check bool) "zero false" false (Value.is_true Value.zero);
+  Alcotest.(check bool) "one true" true (Value.is_true Value.one);
+  Alcotest.check value "truth true" Value.one (Value.truth true);
+  Alcotest.check value "truth false" Value.zero (Value.truth false)
+
+(* --- Reg ------------------------------------------------------------- *)
+
+let test_reg_bounds () =
+  Alcotest.(check int) "count" 256 Reg.count;
+  Alcotest.(check int) "r0" 0 (Reg.index (Reg.make 0));
+  Alcotest.(check int) "r255" 255 (Reg.index (Reg.make 255));
+  Alcotest.check_raises "r256" (Invalid_argument
+                                  "Reg.make: 256 out of range [0, 256)")
+    (fun () -> ignore (Reg.make 256));
+  Alcotest.check_raises "r-1" (Invalid_argument
+                                 "Reg.make: -1 out of range [0, 256)")
+    (fun () -> ignore (Reg.make (-1)))
+
+let test_reg_strings () =
+  Alcotest.(check string) "to_string" "r17" (Reg.to_string (Reg.make 17));
+  (match Reg.of_string "r17" with
+   | Some r -> Alcotest.(check int) "of_string" 17 (Reg.index r)
+   | None -> Alcotest.fail "r17 should parse");
+  (match Reg.of_string "R3" with
+   | Some r -> Alcotest.(check int) "uppercase" 3 (Reg.index r)
+   | None -> Alcotest.fail "R3 should parse");
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (s ^ " rejected") true (Reg.of_string s = None))
+    [ "r256"; "r-1"; "x3"; "r"; ""; "r1x" ]
+
+(* --- Opcode tables --------------------------------------------------- *)
+
+let test_opcode_string_roundtrips () =
+  List.iter
+    (fun op ->
+      match Opcode.binop_of_string (Opcode.binop_to_string op) with
+      | Some op' -> Alcotest.(check bool) "binop" true (op = op')
+      | None -> Alcotest.fail (Opcode.binop_to_string op))
+    Opcode.all_binops;
+  List.iter
+    (fun op ->
+      match Opcode.unop_of_string (Opcode.unop_to_string op) with
+      | Some op' -> Alcotest.(check bool) "unop" true (op = op')
+      | None -> Alcotest.fail (Opcode.unop_to_string op))
+    Opcode.all_unops;
+  List.iter
+    (fun op ->
+      match Opcode.cmpop_of_string (Opcode.cmpop_to_string op) with
+      | Some op' -> Alcotest.(check bool) "cmpop" true (op = op')
+      | None -> Alcotest.fail (Opcode.cmpop_to_string op))
+    Opcode.all_cmpops
+
+let test_opcode_names_disjoint () =
+  (* The assembler dispatches on names: the three namespaces must not
+     collide with each other or with the structural opcodes. *)
+  let names =
+    List.map Opcode.binop_to_string Opcode.all_binops
+    @ List.map Opcode.unop_to_string Opcode.all_unops
+    @ List.map Opcode.cmpop_to_string Opcode.all_cmpops
+    @ [ "load"; "store"; "in"; "out"; "nop" ]
+  in
+  let sorted = List.sort_uniq compare names in
+  Alcotest.(check int) "no duplicate opcode names" (List.length names)
+    (List.length sorted)
+
+(* --- Cond ------------------------------------------------------------ *)
+
+let test_cond_masks () =
+  Alcotest.(check int) "full 4" 0b1111 (Cond.full_mask 4);
+  Alcotest.(check int) "full 8" 0xff (Cond.full_mask 8);
+  Alcotest.(check int) "of_list" 0b1010 (Cond.mask_of_list [ 1; 3 ]);
+  Alcotest.(check (list int)) "list_of_mask" [ 1; 3 ]
+    (Cond.list_of_mask 0b1010);
+  Alcotest.(check (list int)) "roundtrip" [ 0; 2; 7 ]
+    (Cond.list_of_mask (Cond.mask_of_list [ 0; 2; 7 ]))
+
+let test_cond_eval () =
+  let cc = function 0 -> true | _ -> false in
+  let ss = function 1 | 2 -> Sync.Done | _ -> Sync.Busy in
+  let eval c = Cond.eval c ~cc ~ss in
+  Alcotest.(check bool) "always1" true (eval Cond.Always1);
+  Alcotest.(check bool) "always2" false (eval Cond.Always2);
+  Alcotest.(check bool) "cc0" true (eval (Cond.Cc 0));
+  Alcotest.(check bool) "cc1" false (eval (Cond.Cc 1));
+  Alcotest.(check bool) "ss1" true (eval (Cond.Ss 1));
+  Alcotest.(check bool) "ss0" false (eval (Cond.Ss 0));
+  Alcotest.(check bool) "all {1,2}" true
+    (eval (Cond.All_ss (Cond.mask_of_list [ 1; 2 ])));
+  Alcotest.(check bool) "all {0,1}" false
+    (eval (Cond.All_ss (Cond.mask_of_list [ 0; 1 ])));
+  Alcotest.(check bool) "any {0,1}" true
+    (eval (Cond.Any_ss (Cond.mask_of_list [ 0; 1 ])));
+  Alcotest.(check bool) "any {0,3}" false
+    (eval (Cond.Any_ss (Cond.mask_of_list [ 0; 3 ])))
+
+(* --- Control --------------------------------------------------------- *)
+
+let test_control_resolve () =
+  let check_resolve name ctl ~pc ~taken expected =
+    Alcotest.(check (option int)) name expected
+      (Control.resolve ctl ~pc ~taken)
+  in
+  check_resolve "goto" (Control.goto 7) ~pc:0 ~taken:true (Some 7);
+  check_resolve "goto not-taken path irrelevant" (Control.goto 7) ~pc:0
+    ~taken:false (Some 7);
+  check_resolve "br taken" (Control.br (Cond.Cc 0) 3 9) ~pc:0 ~taken:true
+    (Some 3);
+  check_resolve "br not taken" (Control.br (Cond.Cc 0) 3 9) ~pc:0
+    ~taken:false (Some 9);
+  check_resolve "halt" Control.halt ~pc:5 ~taken:true None;
+  check_resolve "fallthrough" Control.next ~pc:5 ~taken:true (Some 6)
+
+let test_control_normalise () =
+  let norm c = Control.normalised_signature c ~pc:10 in
+  (* Equal targets: conditional collapses to unconditional. *)
+  Alcotest.(check bool) "cond with equal targets = goto" true
+    (Control.equal (norm (Control.br (Cond.Cc 3) 5 5)) (norm (Control.goto 5)));
+  (* Always2 is the same signature as Always1 with swapped targets. *)
+  Alcotest.(check bool) "goto2 = goto" true
+    (Control.equal (norm (Control.goto2 5)) (norm (Control.goto 5)));
+  (* Fallthrough resolves against the PC. *)
+  Alcotest.(check bool) "fallthrough at 10 = goto 11" true
+    (Control.equal (norm Control.next) (norm (Control.goto 11)));
+  (* Distinct conditions stay distinct. *)
+  Alcotest.(check bool) "cc0 vs cc1 differ" false
+    (Control.equal
+       (norm (Control.br (Cond.Cc 0) 3 9))
+       (norm (Control.br (Cond.Cc 1) 3 9)))
+
+(* --- Parcel ---------------------------------------------------------- *)
+
+let test_parcel_reads_writes () =
+  let r = Reg.make in
+  let data =
+    Parcel.Dbin
+      { op = Opcode.Iadd; a = Operand.Reg (r 1); b = Operand.Reg (r 2);
+        d = r 3 }
+  in
+  Alcotest.(check (list int)) "bin reads" [ 1; 2 ]
+    (List.map Reg.index (Parcel.reads data));
+  Alcotest.(check (option int)) "bin writes" (Some 3)
+    (Option.map Reg.index (Parcel.writes data));
+  let cmp =
+    Parcel.Dcmp { op = Opcode.Lt; a = Operand.Reg (r 7); b = Operand.imm 0 }
+  in
+  Alcotest.(check (list int)) "cmp reads" [ 7 ]
+    (List.map Reg.index (Parcel.reads cmp));
+  Alcotest.(check bool) "cmp writes nothing" true (Parcel.writes cmp = None);
+  Alcotest.(check bool) "cmp sets cc" true (Parcel.sets_cc cmp);
+  Alcotest.(check bool) "bin does not set cc" false (Parcel.sets_cc data);
+  let store = Parcel.Dstore { a = Operand.Reg (r 4); b = Operand.Reg (r 5) } in
+  Alcotest.(check bool) "store is memory" true (Parcel.is_memory store);
+  Alcotest.(check bool) "nop is nop" true (Parcel.is_nop Parcel.Dnop)
+
+let test_parcel_halted_convention () =
+  Alcotest.(check bool) "halted parcel is nop" true
+    (Parcel.is_nop Parcel.halted.data);
+  Alcotest.(check bool) "halted drives DONE" true
+    (Sync.equal Parcel.halted.sync Sync.Done);
+  Alcotest.(check bool) "halted control" true
+    (Control.equal Parcel.halted.control Control.Halt)
+
+(* --- Encode ---------------------------------------------------------- *)
+
+let sample_parcels =
+  let r = Reg.make in
+  [ Parcel.halted;
+    Parcel.nop (Control.goto 0);
+    Parcel.make
+      (Parcel.Dbin
+         { op = Opcode.Iadd; a = Operand.imm 1; b = Operand.imm 0; d = r 5 })
+      (Control.goto 3);
+    Parcel.make ~sync:Sync.Done
+      (Parcel.Dcmp { op = Opcode.Lt; a = Operand.Reg (r 9); b = Operand.imm 2 })
+      (Control.br (Cond.Cc 2) 8 2);
+    Parcel.make
+      (Parcel.Dload { a = Operand.imm 0x100; b = Operand.Reg (r 1); d = r 2 })
+      (Control.br (Cond.All_ss 0xf) 0x11 0x10);
+    Parcel.make
+      (Parcel.Dstore { a = Operand.Reg (r 3); b = Operand.imm 0x400 })
+      (Control.br (Cond.Any_ss 0b1010) 1 0);
+    Parcel.make
+      (Parcel.Din { port = Operand.imm 3; d = r 7 })
+      (Control.goto2 9);
+    Parcel.make
+      (Parcel.Dout { a = Operand.Reg (r 7); port = Operand.imm 1 })
+      (Control.br (Cond.Ss 3) 4 5);
+    Parcel.make
+      (Parcel.Dun { op = Opcode.Ftoi; a = Operand.imm_f 2.5; d = r 200 })
+      (Control.Branch
+         { cond = Cond.Cc 0; t1 = Control.Fallthrough;
+           t2 = Control.Addr 0xffff }) ]
+
+let test_encode_roundtrip () =
+  List.iteri
+    (fun i p ->
+      let words = Encode.encode p in
+      match Encode.decode words with
+      | Ok p' ->
+        Alcotest.(check bool)
+          (Printf.sprintf "parcel %d roundtrips" i)
+          true (Parcel.equal p p')
+      | Error msg -> Alcotest.failf "parcel %d: %s" i msg)
+    sample_parcels
+
+let test_encode_bytes_roundtrip () =
+  List.iteri
+    (fun i p ->
+      let words = Encode.encode p in
+      let bytes = Encode.to_bytes words in
+      Alcotest.(check int) "24 bytes" 24 (Bytes.length bytes);
+      match Encode.of_bytes bytes with
+      | Ok words' -> (
+        match Encode.decode words' with
+        | Ok p' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "parcel %d via bytes" i)
+            true (Parcel.equal p p')
+        | Error msg -> Alcotest.failf "parcel %d decode: %s" i msg)
+      | Error msg -> Alcotest.failf "parcel %d of_bytes: %s" i msg)
+    sample_parcels
+
+let test_encode_rejects_noncanonical () =
+  let good = Encode.encode (List.nth sample_parcels 2) in
+  (* Flip a spare bit in w0 (bit 63 is spare). *)
+  let bad = { good with Encode.w0 = Int64.logor good.Encode.w0
+                          Int64.min_int } in
+  (match Encode.decode bad with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "spare bit must be rejected");
+  (* Bad opcode index within binop kind. *)
+  let bad_op = { good with Encode.w0 =
+                             Int64.logor good.Encode.w0 (Int64.of_int 0xf8) }
+  in
+  match Encode.decode bad_op with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad opcode index must be rejected"
+
+let test_encode_range_checks () =
+  let p = Parcel.nop (Control.goto 0x10000) in
+  Alcotest.(check bool) "address too large raises" true
+    (match Encode.encode p with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let suite =
+  [ ( "isa",
+      [ Alcotest.test_case "value int roundtrip" `Quick
+          test_value_int_roundtrip;
+        Alcotest.test_case "value 32-bit wraparound" `Quick
+          test_value_int_wraps;
+        Alcotest.test_case "value float32 rounding" `Quick
+          test_value_float_single_precision;
+        Alcotest.test_case "value truthiness" `Quick test_value_truth;
+        Alcotest.test_case "reg bounds" `Quick test_reg_bounds;
+        Alcotest.test_case "reg strings" `Quick test_reg_strings;
+        Alcotest.test_case "opcode string roundtrips" `Quick
+          test_opcode_string_roundtrips;
+        Alcotest.test_case "opcode names disjoint" `Quick
+          test_opcode_names_disjoint;
+        Alcotest.test_case "cond masks" `Quick test_cond_masks;
+        Alcotest.test_case "cond eval" `Quick test_cond_eval;
+        Alcotest.test_case "control resolve" `Quick test_control_resolve;
+        Alcotest.test_case "control normalisation" `Quick
+          test_control_normalise;
+        Alcotest.test_case "parcel reads/writes" `Quick
+          test_parcel_reads_writes;
+        Alcotest.test_case "halted parcel convention" `Quick
+          test_parcel_halted_convention;
+        Alcotest.test_case "encode roundtrip" `Quick test_encode_roundtrip;
+        Alcotest.test_case "encode via bytes" `Quick
+          test_encode_bytes_roundtrip;
+        Alcotest.test_case "encode rejects non-canonical" `Quick
+          test_encode_rejects_noncanonical;
+        Alcotest.test_case "encode range checks" `Quick
+          test_encode_range_checks ] ) ]

@@ -1,0 +1,69 @@
+(* Partial-mask barriers (paper §3.3): correctness and the measurable
+   benefit of synchronising only the threads that need it. *)
+
+open Ximd_workloads
+
+let run_cycles ?tracer workload =
+  match Workload.run_checked ?tracer workload.Workload.ximd with
+  | Ok (outcome, state) -> (Ximd_core.Run.cycles outcome, state)
+  | Error msg -> Alcotest.failf "%s: %s" workload.Workload.name msg
+
+let test_masked_correct () = ignore (run_cycles (Pairsync.make ()))
+
+let test_unmasked_correct () =
+  ignore (run_cycles (Pairsync.make ~masked:false ()))
+
+let test_masked_beats_full_on_skew () =
+  (* Pair 0 has quick phase-1 inputs but heavy phase-2 work; pair 1 is
+     the opposite.  Waiting only on the partner lets pair 0 start its
+     long phase 2 immediately; the all-odds variant serialises it behind
+     pair 1's slow summation. *)
+  let lengths = [| 1; 1; 60; 60; 2; 2; 55; 55 |] in
+  let phase2 = [| 120; 4; 4; 4 |] in
+  let masked, _ = run_cycles (Pairsync.make ~lengths ~phase2 ()) in
+  let full, _ =
+    run_cycles (Pairsync.make ~masked:false ~lengths ~phase2 ())
+  in
+  if masked >= full then
+    Alcotest.failf "masked %d cycles should beat full %d" masked full
+
+let test_equal_lengths_near_parity () =
+  (* No skew: both codings should be within a few cycles. *)
+  let lengths = Array.make 8 16 in
+  let phase2 = Array.make 4 10 in
+  let masked, _ = run_cycles (Pairsync.make ~lengths ~phase2 ()) in
+  let full, _ =
+    run_cycles (Pairsync.make ~masked:false ~lengths ~phase2 ())
+  in
+  if abs (masked - full) > 10 then
+    Alcotest.failf "expected near parity, got %d vs %d" masked full
+
+let test_pairwise_concurrency_visible () =
+  (* With skew, at some cycle one pair is already in phase 2 (its even
+     FU past the pair barrier) while another pair is still in phase 1 —
+     eight streams at peak, and the partition shows disjoint groups. *)
+  let lengths = [| 1; 1; 60; 60; 1; 1; 60; 60 |] in
+  let tracer = Ximd_core.Tracer.create () in
+  let _, state = run_cycles ~tracer (Pairsync.make ~lengths ()) in
+  Alcotest.(check bool) "many streams" true (state.stats.max_streams >= 4)
+
+let test_varied_lengths () =
+  List.iter
+    (fun lengths -> ignore (run_cycles (Pairsync.make ~lengths ())))
+    [ Array.make 8 1;
+      [| 64; 1; 1; 64; 64; 1; 1; 64 |];
+      [| 7; 13; 21; 3; 9; 31; 2; 17 |] ]
+
+let suite =
+  [ ( "pairsync",
+      [ Alcotest.test_case "masked variant correct" `Quick
+          test_masked_correct;
+        Alcotest.test_case "full variant correct" `Quick
+          test_unmasked_correct;
+        Alcotest.test_case "masked beats full on skew" `Quick
+          test_masked_beats_full_on_skew;
+        Alcotest.test_case "parity without skew" `Quick
+          test_equal_lengths_near_parity;
+        Alcotest.test_case "pairwise concurrency visible" `Quick
+          test_pairwise_concurrency_visible;
+        Alcotest.test_case "varied lengths" `Quick test_varied_lengths ] ) ]

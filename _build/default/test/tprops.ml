@@ -1,0 +1,654 @@
+(* Property-based tests (qcheck, registered as alcotest cases). *)
+
+open Ximd_isa
+module C = Ximd_compiler
+module Gen = QCheck2.Gen
+
+let to_alcotest = QCheck_alcotest.to_alcotest
+
+(* --- Generators -------------------------------------------------------- *)
+
+let gen_reg = Gen.map Reg.make (Gen.int_bound 255)
+
+let gen_operand =
+  Gen.oneof
+    [ Gen.map (fun r -> Operand.Reg r) gen_reg;
+      Gen.map
+        (fun i -> Operand.Imm (Value.of_int i))
+        (Gen.int_range (-1_000_000) 1_000_000) ]
+
+let gen_binop = Gen.oneofl Opcode.all_binops
+let gen_unop = Gen.oneofl Opcode.all_unops
+let gen_cmpop = Gen.oneofl Opcode.all_cmpops
+
+let gen_data =
+  Gen.oneof
+    [ Gen.return Parcel.Dnop;
+      Gen.map4
+        (fun op a b d -> Parcel.Dbin { op; a; b; d })
+        gen_binop gen_operand gen_operand gen_reg;
+      Gen.map3 (fun op a d -> Parcel.Dun { op; a; d }) gen_unop gen_operand
+        gen_reg;
+      Gen.map3 (fun op a b -> Parcel.Dcmp { op; a; b }) gen_cmpop gen_operand
+        gen_operand;
+      Gen.map3 (fun a b d -> Parcel.Dload { a; b; d }) gen_operand gen_operand
+        gen_reg;
+      Gen.map2 (fun a b -> Parcel.Dstore { a; b }) gen_operand gen_operand;
+      Gen.map2 (fun port d -> Parcel.Din { port; d }) gen_operand gen_reg;
+      Gen.map2 (fun a port -> Parcel.Dout { a; port }) gen_operand gen_operand
+    ]
+
+let gen_addr = Gen.int_bound 0xffff
+
+let gen_target =
+  Gen.oneof
+    [ Gen.map (fun a -> Control.Addr a) gen_addr;
+      Gen.return Control.Fallthrough ]
+
+let gen_cond =
+  Gen.oneof
+    [ Gen.return Cond.Always1;
+      Gen.return Cond.Always2;
+      Gen.map (fun j -> Cond.Cc j) (Gen.int_bound 15);
+      Gen.map (fun j -> Cond.Ss j) (Gen.int_bound 15);
+      Gen.map (fun m -> Cond.All_ss m) (Gen.int_range 1 0xffff);
+      Gen.map (fun m -> Cond.Any_ss m) (Gen.int_range 1 0xffff) ]
+
+let gen_control =
+  Gen.oneof
+    [ Gen.return Control.Halt;
+      Gen.map3
+        (fun cond t1 t2 -> Control.Branch { cond; t1; t2 })
+        gen_cond gen_target gen_target ]
+
+let gen_sync = Gen.oneofl [ Sync.Busy; Sync.Done ]
+
+let gen_parcel =
+  Gen.map3
+    (fun data control sync -> Parcel.make ~sync data control)
+    gen_data gen_control gen_sync
+
+(* --- Encode/decode ------------------------------------------------------ *)
+
+let prop_parcel_roundtrip =
+  QCheck2.Test.make ~count:1000 ~name:"encode/decode parcel roundtrip"
+    gen_parcel (fun p ->
+      match Encode.decode (Encode.encode p) with
+      | Ok p' -> Parcel.equal p p'
+      | Error _ -> false)
+
+let prop_parcel_bytes_roundtrip =
+  QCheck2.Test.make ~count:500 ~name:"parcel bytes roundtrip" gen_parcel
+    (fun p ->
+      let bytes = Encode.to_bytes (Encode.encode p) in
+      match Encode.of_bytes bytes with
+      | Ok words -> (
+        match Encode.decode words with
+        | Ok p' -> Parcel.equal p p'
+        | Error _ -> false)
+      | Error _ -> false)
+
+let gen_program =
+  let open Gen in
+  int_range 1 12 >>= fun n_rows ->
+  int_range 1 8 >>= fun n_fus ->
+  (* Branch targets must be in range for Program.validate-free building;
+     Program.make itself accepts any; restrict to valid addresses so the
+     image roundtrip is exercised on realistic programs. *)
+  let gen_target = Gen.map (fun a -> Control.Addr a) (int_bound (n_rows - 1)) in
+  let gen_control =
+    Gen.oneof
+      [ return Control.Halt;
+        map3
+          (fun cond t1 t2 -> Control.Branch { cond; t1; t2 })
+          gen_cond gen_target gen_target ]
+  in
+  let gen_parcel =
+    map3
+      (fun data control sync -> Parcel.make ~sync data control)
+      gen_data gen_control gen_sync
+  in
+  list_repeat n_rows (list_repeat n_fus gen_parcel) >>= fun rows ->
+  return (Ximd_core.Program.of_rows ~n_fus rows)
+
+let prop_program_image_roundtrip =
+  QCheck2.Test.make ~count:200 ~name:"program image roundtrip" gen_program
+    (fun p ->
+      match Ximd_core.Program.decode (Ximd_core.Program.encode p) with
+      | Ok p' -> Ximd_core.Program.equal_code p p'
+      | Error _ -> false)
+
+(* Programs that satisfy Program.validate (targets and condition FUs in
+   range, no fall-through, unconditional branches with one target) also
+   survive a disassemble/assemble round trip. *)
+let gen_valid_program =
+  let open Gen in
+  int_range 1 10 >>= fun n_rows ->
+  int_range 1 8 >>= fun n_fus ->
+  let gen_addr = int_bound (n_rows - 1) in
+  let gen_cond_v =
+    oneof
+      [ map (fun j -> Cond.Cc j) (int_bound (n_fus - 1));
+        map (fun j -> Cond.Ss j) (int_bound (n_fus - 1));
+        map (fun m -> Cond.All_ss m) (int_range 1 ((1 lsl n_fus) - 1));
+        map (fun m -> Cond.Any_ss m) (int_range 1 ((1 lsl n_fus) - 1)) ]
+  in
+  let gen_control_v =
+    oneof
+      [ return Control.Halt;
+        map (fun a -> Control.goto a) gen_addr;
+        map (fun a -> Control.goto2 a) gen_addr;
+        map3 (fun cond t1 t2 -> Control.br cond t1 t2) gen_cond_v gen_addr
+          gen_addr ]
+  in
+  let gen_parcel_v =
+    map3
+      (fun data control sync -> Parcel.make ~sync data control)
+      gen_data gen_control_v gen_sync
+  in
+  list_repeat n_rows (list_repeat n_fus gen_parcel_v) >>= fun rows ->
+  return (Ximd_core.Program.of_rows ~n_fus rows)
+
+let prop_asm_source_roundtrip =
+  QCheck2.Test.make ~count:150 ~name:"disassemble/assemble roundtrip"
+    gen_valid_program (fun p ->
+      match Ximd_asm.Source.parse (Ximd_asm.Source.to_source p) with
+      | Ok p' -> Ximd_core.Program.equal_code p p'
+      | Error _ -> false)
+
+(* Random control-consistent straight-line programs (forward gotos and
+   a final halt — guaranteed termination): the general XIMD simulator
+   and the VLIW baseline must agree on cycles and final register
+   state (the §3.1 equivalence). *)
+let gen_forward_program =
+  let open Gen in
+  int_range 1 10 >>= fun n_rows ->
+  int_range 1 8 >>= fun n_fus ->
+  (* Data ops over a small register pool with modest immediates, so
+     differences in any register are meaningful. *)
+  let gen_reg_small = map Reg.make (int_bound 15) in
+  let gen_op_small =
+    oneof
+      [ map Operand.imm (int_range (-50) 50);
+        map (fun r -> Operand.Reg r) gen_reg_small ]
+  in
+  let gen_data_small =
+    oneof
+      [ return Parcel.Dnop;
+        map4
+          (fun op a b d -> Parcel.Dbin { op; a; b; d })
+          (oneofl [ Opcode.Iadd; Opcode.Isub; Opcode.Imult; Opcode.Xor ])
+          gen_op_small gen_op_small gen_reg_small;
+        map3
+          (fun op a b -> Parcel.Dcmp { op; a; b })
+          (oneofl [ Opcode.Lt; Opcode.Eq ])
+          gen_op_small gen_op_small ]
+  in
+  let rec rows addr acc =
+    if addr >= n_rows then return (List.rev acc)
+    else
+      (if addr = n_rows - 1 then return Control.Halt
+       else
+         oneof
+           [ return Control.Halt;
+             map
+               (fun a -> Control.goto a)
+               (int_range (addr + 1) (n_rows - 1)) ])
+      >>= fun control ->
+      (* Distinct destination registers per row avoid the undefined
+         multi-write case. *)
+      list_repeat n_fus gen_data_small >>= fun datas ->
+      let used = Hashtbl.create 7 in
+      let datas =
+        List.map
+          (fun d ->
+            match Parcel.writes d with
+            | Some reg when Hashtbl.mem used (Reg.index reg) -> Parcel.Dnop
+            | Some reg ->
+              Hashtbl.replace used (Reg.index reg) ();
+              d
+            | None -> d)
+          datas
+      in
+      (* Only one compare per row: the machine allows more (each FU has
+         its own CC), but keeping it simple also keeps Vsim's semantics
+         identical. *)
+      let row = List.map (fun d -> Parcel.make d control) datas in
+      rows (addr + 1) (row :: acc)
+  in
+  rows 0 [] >>= fun rows ->
+  return (Ximd_core.Program.of_rows ~n_fus rows, n_fus)
+
+let prop_xsim_equals_vsim =
+  QCheck2.Test.make ~count:200 ~name:"xsim = vsim on VLIW-style programs"
+    gen_forward_program (fun (program, n_fus) ->
+      let run sim =
+        let config = Ximd_core.Config.make ~n_fus ~max_cycles:1000 () in
+        let state = Ximd_core.State.create ~config program in
+        match sim state with
+        | Ximd_core.Run.Halted { cycles } ->
+          Some (cycles, Ximd_machine.Regfile.dump state.regs)
+        | Ximd_core.Run.Fuel_exhausted _ -> None
+      in
+      match
+        (run (fun s -> Ximd_core.Xsim.run s),
+         run (fun s -> Ximd_core.Vsim.run s))
+      with
+      | Some (xc, xregs), Some (vc, vregs) ->
+        xc = vc && Array.for_all2 Value.equal xregs vregs
+      | _ -> false)
+
+(* --- Partition ----------------------------------------------------------- *)
+
+let gen_partition =
+  let open Gen in
+  int_range 1 10 >>= fun n ->
+  (* Random group assignment, then normalise through of_ssets. *)
+  list_repeat n (int_bound (n - 1)) >>= fun colours ->
+  let groups = Hashtbl.create 7 in
+  List.iteri
+    (fun fu colour ->
+      Hashtbl.replace groups colour
+        (fu :: (try Hashtbl.find groups colour with Not_found -> [])))
+    colours;
+  let ssets = Hashtbl.fold (fun _ fus acc -> fus :: acc) groups [] in
+  return (Ximd_core.Partition.of_ssets ssets)
+
+let prop_partition_string_roundtrip =
+  QCheck2.Test.make ~count:500 ~name:"partition notation roundtrip"
+    gen_partition (fun p ->
+      match Ximd_core.Partition.of_string (Ximd_core.Partition.to_string p)
+      with
+      | Ok p' -> Ximd_core.Partition.equal p p'
+      | Error _ -> false)
+
+let prop_partition_of_signatures_sound =
+  (* FUs in one SSET have equal signatures; FUs in different SSETs have
+     different ones. *)
+  let gen =
+    let open Gen in
+    int_range 1 8 >>= fun n ->
+    list_repeat n (int_bound 3) >>= fun choice ->
+    return
+      (Array.of_list
+         (List.map
+            (fun c ->
+              match c with
+              | 0 -> Control.goto 1
+              | 1 -> Control.goto 2
+              | 2 -> Control.br (Cond.Cc 0) 1 2
+              | _ -> Control.Halt)
+            choice))
+  in
+  QCheck2.Test.make ~count:500 ~name:"partition groups by signature" gen
+    (fun signatures ->
+      let p = Ximd_core.Partition.of_signatures signatures in
+      List.for_all
+        (fun sset ->
+          List.for_all
+            (fun a ->
+              List.for_all
+                (fun b ->
+                  Control.equal signatures.(a) signatures.(b))
+                sset)
+            sset)
+        (Ximd_core.Partition.ssets p)
+      && Ximd_core.Partition.n_fus p = Array.length signatures)
+
+(* --- ALU ------------------------------------------------------------------ *)
+
+let gen_value = Gen.map Value.of_int (Gen.int_range (-1 lsl 31) ((1 lsl 31) - 1))
+
+let prop_alu_add_commutes =
+  QCheck2.Test.make ~count:500 ~name:"iadd commutes"
+    (Gen.pair gen_value gen_value) (fun (a, b) ->
+      Ximd_machine.Alu.eval_bin Opcode.Iadd a b
+      = Ximd_machine.Alu.eval_bin Opcode.Iadd b a)
+
+let prop_alu_xor_involutive =
+  QCheck2.Test.make ~count:500 ~name:"xor twice is identity"
+    (Gen.pair gen_value gen_value) (fun (a, b) ->
+      match Ximd_machine.Alu.eval_bin Opcode.Xor a b with
+      | Ok x -> (
+        match Ximd_machine.Alu.eval_bin Opcode.Xor x b with
+        | Ok a' -> Value.equal a a'
+        | Error _ -> false)
+      | Error _ -> false)
+
+let prop_alu_sub_add_inverse =
+  QCheck2.Test.make ~count:500 ~name:"(a + b) - b = a"
+    (Gen.pair gen_value gen_value) (fun (a, b) ->
+      match Ximd_machine.Alu.eval_bin Opcode.Iadd a b with
+      | Ok s -> (
+        match Ximd_machine.Alu.eval_bin Opcode.Isub s b with
+        | Ok a' -> Value.equal a a'
+        | Error _ -> false)
+      | Error _ -> false)
+
+let prop_alu_compare_trichotomy =
+  QCheck2.Test.make ~count:500 ~name:"exactly one of < = >"
+    (Gen.pair gen_value gen_value) (fun (a, b) ->
+      let c op = Ximd_machine.Alu.eval_cmp op a b in
+      let lt = c Opcode.Lt and eq = c Opcode.Eq and gt = c Opcode.Gt in
+      List.length (List.filter Fun.id [ lt; eq; gt ]) = 1
+      && c Opcode.Le = (lt || eq)
+      && c Opcode.Ge = (gt || eq)
+      && c Opcode.Ne = not eq)
+
+let prop_alu_shift_mask =
+  QCheck2.Test.make ~count:500 ~name:"shift amount masked to 5 bits"
+    (Gen.pair gen_value (Gen.int_range 0 200)) (fun (a, s) ->
+      let sh n = Ximd_machine.Alu.eval_bin Opcode.Shl a (Value.of_int n) in
+      sh s = sh (s land 31))
+
+(* --- Scheduler -------------------------------------------------------------- *)
+
+(* Random straight-line op arrays over a small vreg pool (uses may
+   precede defs; the DDG only orders what is genuinely dependent). *)
+let gen_ops =
+  let open Gen in
+  int_range 1 25 >>= fun n ->
+  let gen_vreg = int_bound 12 in
+  let gen_op =
+    oneof
+      [ map4
+          (fun op a b d -> Ir_helpers.bin op a b d)
+          (oneofl [ Opcode.Iadd; Opcode.Isub; Opcode.Imult; Opcode.And ])
+          gen_vreg gen_vreg gen_vreg;
+        map2 (fun a d -> Ir_helpers.load a d) gen_vreg gen_vreg;
+        map2 (fun a b -> Ir_helpers.store a b) gen_vreg gen_vreg ]
+  in
+  list_repeat n gen_op >>= fun ops -> return (Array.of_list ops)
+
+let prop_listsched_valid =
+  QCheck2.Test.make ~count:300 ~name:"list schedule respects DDG"
+    (Gen.pair gen_ops (Gen.int_range 1 8)) (fun (ops, width) ->
+      let sched = C.Listsched.schedule ~width ops in
+      match C.Listsched.verify ops sched with Ok () -> true | Error _ -> false)
+
+let prop_pipeliner_valid =
+  QCheck2.Test.make ~count:200 ~name:"modulo schedule verifies"
+    (Gen.pair gen_ops (Gen.int_range 1 8)) (fun (ops, width) ->
+      match C.Pipeliner.schedule ~width ops with
+      | Ok sched -> (
+        match C.Pipeliner.verify ~width ops sched with
+        | Ok () -> sched.ii >= sched.res_mii
+        | Error _ -> false)
+      | Error _ -> false)
+
+(* --- Compile vs interpret --------------------------------------------------- *)
+
+(* Random well-formed straight-line functions: each op may only use
+   already-defined vregs or parameters, so the interpreter and the
+   machine see identical dataflow. *)
+let gen_func =
+  let open Gen in
+  int_range 1 20 >>= fun n_ops ->
+  let rec build i defined acc =
+    if i >= n_ops then return (List.rev acc)
+    else
+      let gen_src = oneofl defined in
+      let fresh = 100 + i in
+      oneof
+        [ map3
+            (fun op a b -> C.Ir.Bin (op, C.Ir.V a, C.Ir.V b, fresh))
+            (oneofl
+               [ Opcode.Iadd; Opcode.Isub; Opcode.Imult; Opcode.And;
+                 Opcode.Or; Opcode.Xor; Opcode.Shl; Opcode.Shr ])
+            gen_src gen_src;
+          map2
+            (fun a c -> C.Ir.Bin (Opcode.Iadd, C.Ir.V a, C.Ir.C c, fresh))
+            gen_src (map Int32.of_int (int_range (-100) 100));
+          map
+            (fun off -> C.Ir.Load (C.Ir.C 500l, C.Ir.C (Int32.of_int off), fresh))
+            (int_bound 15);
+          map2
+            (fun a off ->
+              C.Ir.Store (C.Ir.V a, C.Ir.C (Int32.of_int (600 + off))))
+            gen_src (int_bound 15) ]
+      >>= fun op ->
+      let defined =
+        match C.Ir.defs op with Some d -> d :: defined | None -> defined
+      in
+      build (i + 1) defined (op :: acc)
+  in
+  build 0 [ 0; 1; 2 ] [] >>= fun body ->
+  let defined =
+    [ 0; 1; 2 ] @ List.filter_map C.Ir.defs body
+  in
+  oneofl defined >>= fun result ->
+  int_range 1 8 >>= fun width ->
+  return
+    ( { C.Ir.name = "prop";
+        params = [ 0; 1; 2 ];
+        results = [ result ];
+        blocks = [ { C.Ir.label = "entry"; body; term = C.Ir.Return } ] },
+      width )
+
+let prop_compile_matches_interp =
+  QCheck2.Test.make ~count:200 ~name:"compiled code = interpreter"
+    (Gen.pair gen_func (Gen.list_repeat 3 (Gen.int_range (-1000) 1000)))
+    (fun ((func, width), arg_ints) ->
+      let args = List.map Value.of_int arg_ints in
+      let mem = List.init 16 (fun i -> (500 + i, Value.of_int (i * 3 + 1))) in
+      match C.Interp.run func ~args ~mem with
+      | Error _ -> false
+      | Ok interp_outcome -> (
+        match C.Codegen.compile ~width func with
+        | Error _ -> false
+        | Ok compiled -> (
+          let config = Ximd_core.Config.make ~n_fus:width () in
+          let state = Ximd_core.State.create ~config compiled.program in
+          List.iter2
+            (fun (_, reg) v -> Ximd_machine.Regfile.set state.regs reg v)
+            compiled.param_regs args;
+          List.iter (fun (a, v) -> Ximd_core.State.mem_set state a v) mem;
+          match Ximd_core.Vsim.run state with
+          | Ximd_core.Run.Fuel_exhausted _ -> false
+          | Ximd_core.Run.Halted _ ->
+            let results_match =
+              List.for_all2
+                (fun (_, reg) expected ->
+                  Value.equal (Ximd_machine.Regfile.read state.regs reg)
+                    expected)
+                compiled.result_regs interp_outcome.results
+            in
+            let mem_match =
+              Hashtbl.fold
+                (fun addr v acc ->
+                  acc && Value.equal (Ximd_core.State.mem_get state addr) v)
+                interp_outcome.mem true
+            in
+            results_match && mem_match)))
+
+(* --- Pipelined kernel generation ------------------------------------------ *)
+
+(* Random arithmetic loop bodies (no memory, no compares) with an
+   appended unit-step induction op; the pipelined program must agree
+   with the rolled interpretation for every live-out. *)
+let gen_loop_body =
+  let open Gen in
+  let induction = 50 in
+  int_range 1 10 >>= fun n_ops ->
+  let pool = [ 0; 1; 2; 3; induction ] in
+  let gen_vreg = oneofl pool in
+  let gen_op =
+    oneof
+      [ map3
+          (fun op a b ->
+            fun d -> C.Ir.Bin (op, C.Ir.V a, C.Ir.V b, d))
+          (oneofl [ Opcode.Iadd; Opcode.Isub; Opcode.Imult; Opcode.Xor ])
+          gen_vreg gen_vreg;
+        map2
+          (fun a c ->
+            fun d -> C.Ir.Bin (Opcode.Iadd, C.Ir.V a, C.Ir.C c, d))
+          gen_vreg
+          (map Int32.of_int (int_range (-9) 9)) ]
+  in
+  list_repeat n_ops (pair gen_op (oneofl [ 0; 1; 2; 3 ])) >>= fun mk ->
+  let body =
+    List.map (fun (f, d) -> f d) mk
+    @ [ C.Ir.Bin (Opcode.Iadd, C.Ir.V induction, C.Ir.C 1l, induction) ]
+  in
+  (* The live-out must be something the body actually defines. *)
+  oneofl (List.sort_uniq compare (List.map snd mk)) >>= fun out ->
+  int_range 1 8 >>= fun width ->
+  int_range 0 5 >>= fun extra_passes ->
+  return (Array.of_list body, out, width, extra_passes, induction)
+
+let prop_kernelgen_matches_rolled =
+  QCheck2.Test.make ~count:150 ~name:"pipelined loop = rolled loop"
+    gen_loop_body (fun (ops, out, width, extra_passes, induction) ->
+      match C.Kernelgen.compile ~width ~live_out:[ out ] ops with
+      | Error _ -> false
+      | Ok k -> (
+        let trip = k.min_trip + (extra_passes * k.unroll) in
+        let inputs =
+          List.map
+            (fun v ->
+              (* The induction variable must start at 0 so the rolled
+                 loop's [i < trip] test agrees with the pass count. *)
+              (v, if v = induction then Value.zero
+                  else Value.of_int ((v * 13) + 1)))
+            (C.Kernelgen.live_in ops)
+        in
+        let config =
+          Ximd_core.Config.make ~n_fus:width ~max_cycles:100_000 ()
+        in
+        let state = Ximd_core.State.create ~config k.program in
+        Ximd_machine.Regfile.set state.regs k.trip_reg (Value.of_int trip);
+        List.iter
+          (fun (v, value) ->
+            match List.assoc_opt v k.live_in_regs with
+            | Some reg -> Ximd_machine.Regfile.set state.regs reg value
+            | None -> ())
+          inputs;
+        match Ximd_core.Xsim.run state with
+        | Ximd_core.Run.Fuel_exhausted _ -> false
+        | Ximd_core.Run.Halted _ -> (
+          let trip_vreg = 99 in
+          let func =
+            C.Kernelgen.rolled_reference ~trip:trip_vreg ~induction
+              ~live_out:[ out ] ops
+          in
+          let args =
+            List.map
+              (fun v ->
+                if v = trip_vreg then Value.of_int trip
+                else
+                  match List.assoc_opt v inputs with
+                  | Some x -> x
+                  | None -> Value.zero)
+              func.params
+          in
+          match C.Interp.run func ~args ~mem:[] with
+          | Error _ -> false
+          | Ok rolled ->
+            let reg = List.assoc out k.live_out_regs in
+            Value.equal
+              (Ximd_machine.Regfile.read state.regs reg)
+              (List.hd rolled.results))))
+
+(* --- Packing ------------------------------------------------------------------ *)
+
+(* Fabricate tiles of arbitrary shape around one real compilation. *)
+let dummy_compiled =
+  lazy
+    (match
+       C.Codegen.compile ~width:1
+         { C.Ir.name = "dummy"; params = []; results = [];
+           blocks =
+             [ { C.Ir.label = "entry"; body = []; term = C.Ir.Return } ] }
+     with
+     | Ok c -> c
+     | Error _ -> failwith "dummy compile failed")
+
+let tile thread width length =
+  { C.Tile.thread; width; length; compiled = Lazy.force dummy_compiled }
+
+let gen_menus =
+  let open Gen in
+  int_range 2 7 >>= fun n_threads ->
+  let gen_menu i =
+    int_range 1 4 >>= fun n_tiles ->
+    list_repeat n_tiles
+      (pair (int_range 1 8) (int_range 1 12))
+    >>= fun shapes ->
+    return
+      ( Printf.sprintf "t%d" i,
+        List.map (fun (w, l) -> tile (Printf.sprintf "t%d" i) w l) shapes )
+  in
+  let rec menus i acc =
+    if i >= n_threads then return (List.rev acc)
+    else gen_menu i >>= fun m -> menus (i + 1) (m :: acc)
+  in
+  menus 0 []
+
+let prop_pack_density_valid =
+  QCheck2.Test.make ~count:200 ~name:"density packing valid and bounded"
+    gen_menus (fun menus ->
+      match C.Packing.pack_density ~n_fus:8 menus with
+      | Error _ -> false
+      | Ok packing -> (
+        match C.Packing.valid packing with
+        | Ok () -> packing.height >= packing.lower_bound
+        | Error _ -> false))
+
+let gen_menus_with_deps =
+  let open Gen in
+  gen_menus >>= fun menus ->
+  let names = List.map fst menus in
+  let n = List.length names in
+  (* forward edges only: guaranteed acyclic *)
+  list_repeat (n - 1) (pair (int_bound (n - 1)) (int_bound (n - 1)))
+  >>= fun raw ->
+  let deps =
+    List.filter_map
+      (fun (a, b) ->
+        if a < b then Some (List.nth names a, List.nth names b) else None)
+      raw
+  in
+  return (menus, deps)
+
+let prop_pack_time_valid =
+  QCheck2.Test.make ~count:200 ~name:"time packing valid, deps respected"
+    gen_menus_with_deps (fun (menus, deps) ->
+      match C.Packing.pack_time ~n_fus:8 ~deps menus with
+      | Error _ -> false
+      | Ok packing -> (
+        match C.Packing.valid packing with
+        | Error _ -> false
+        | Ok () ->
+          let placed name =
+            List.find
+              (fun (p : C.Packing.placement) -> p.thread = name)
+              packing.placements
+          in
+          packing.height >= packing.lower_bound
+          && List.for_all
+               (fun (before, after) ->
+                 let b = placed before and a = placed after in
+                 a.y >= b.y + b.tile.length)
+               deps))
+
+let suite =
+  [ ( "properties",
+      List.map to_alcotest
+        [ prop_parcel_roundtrip;
+          prop_parcel_bytes_roundtrip;
+          prop_program_image_roundtrip;
+          prop_asm_source_roundtrip;
+          prop_xsim_equals_vsim;
+          prop_partition_string_roundtrip;
+          prop_partition_of_signatures_sound;
+          prop_alu_add_commutes;
+          prop_alu_xor_involutive;
+          prop_alu_sub_add_inverse;
+          prop_alu_compare_trichotomy;
+          prop_alu_shift_mask;
+          prop_listsched_valid;
+          prop_pipeliner_valid;
+          prop_compile_matches_interp;
+          prop_kernelgen_matches_rolled;
+          prop_pack_density_valid;
+          prop_pack_time_valid ] ) ]

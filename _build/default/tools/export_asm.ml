@@ -1,0 +1,9 @@
+let () =
+  let write path program =
+    Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Ximd_asm.Source.to_source program))
+  in
+  write "examples/asm/minmax.xasm" (Ximd_workloads.Minmax.make ()).ximd.program;
+  write "examples/asm/bitcount.xasm" (Ximd_workloads.Bitcount.make ()).ximd.program;
+  write "examples/asm/tproc.xasm" (Ximd_workloads.Tproc.make ()).ximd.program;
+  print_endline "written"
