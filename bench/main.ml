@@ -1,14 +1,31 @@
 (* Benchmark harness.
 
    Usage:
-     bench/main.exe            — regenerate every paper figure/table
-     bench/main.exe e2 e5      — run selected experiments (f7, e1..e7)
-     bench/main.exe micro      — Bechamel micro-benchmarks of the
-                                 simulators, assembler and compiler
-     bench/main.exe all micro  — everything *)
+     bench/main.exe                 — regenerate every paper figure/table
+     bench/main.exe e2 e5          — run selected experiments (f7, e1..e7)
+     bench/main.exe micro          — Bechamel micro-benchmarks of the
+                                     simulators, assembler and compiler
+     bench/main.exe micro minmax   — micro-benchmarks of one workload
+     bench/main.exe json           — measure simulator throughput and
+                                     write BENCH_simulator.json
+     bench/main.exe json minmax    — same, restricted to one workload
+     bench/main.exe all micro      — everything
+
+   BENCH_QUOTA=<seconds> shortens or lengthens the per-test measurement
+   quota (default 0.5 s) — CI uses a short quota as a smoke test. *)
 
 module W = Ximd_workloads
 module C = Ximd_compiler
+
+let quota_seconds () =
+  match Sys.getenv_opt "BENCH_QUOTA" with
+  | None -> 0.5
+  | Some s -> (
+    match float_of_string_opt s with
+    | Some q when q > 0.0 -> q
+    | Some _ | None ->
+      Printf.eprintf "BENCH_QUOTA must be a positive float (got %S)\n" s;
+      exit 1)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
@@ -18,7 +35,13 @@ let run_variant variant =
   | Ximd_core.Run.Halted _, state -> state.Ximd_core.State.cycle
   | Ximd_core.Run.Fuel_exhausted _, _ -> failwith "bench workload hung"
 
-let workload_tests () =
+let selected_workloads filter =
+  let all = W.Suite.all () in
+  match filter with
+  | [] -> all
+  | names -> List.filter (fun (w : W.Workload.t) -> List.mem w.name names) all
+
+let workload_tests ?(filter = []) () =
   let open Bechamel in
   let per_workload (workload : W.Workload.t) =
     let tests =
@@ -34,7 +57,7 @@ let workload_tests () =
             ~name:(workload.name ^ "/vsim")
             (Staged.stage (fun () -> ignore (run_variant vliw))) ]
   in
-  List.concat_map per_workload (W.Suite.all ())
+  List.concat_map per_workload (selected_workloads filter)
 
 let infra_tests () =
   let open Bechamel in
@@ -73,20 +96,25 @@ let infra_tests () =
          | Ok _ -> ()
          | Error _ -> failwith "compile failed")) ]
 
-let run_micro () =
+(* Measures [tests] and returns [(name, ns_per_run)] rows sorted by
+   name.  The group prefix Bechamel adds is stripped back off. *)
+let measure_tests tests =
   let open Bechamel in
-  Printf.printf "\n=== micro-benchmarks (ns/run, OLS on monotonic clock) \
-                 ===\n\n%!";
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
-  let instances = Toolkit.Instance.[ monotonic_clock ] in
-  let grouped =
-    Test.make_grouped ~name:"ximd" (workload_tests () @ infra_tests ())
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second (quota_seconds ())) ()
   in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let grouped = Test.make_grouped ~name:"ximd" tests in
   let raw = Benchmark.all cfg instances grouped in
   let analysed =
     Analyze.all
       (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
       Toolkit.Instance.monotonic_clock raw
+  in
+  let strip_group name =
+    match String.index_opt name '/' with
+    | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+    | None -> name
   in
   let rows = ref [] in
   Hashtbl.iter
@@ -96,11 +124,79 @@ let run_micro () =
         | Some (est :: _) -> est
         | Some [] | None -> nan
       in
-      rows := (name, estimate) :: !rows)
+      rows := (strip_group name, estimate) :: !rows)
     analysed;
+  List.sort compare !rows
+
+let run_micro ?(filter = []) () =
+  Printf.printf "\n=== micro-benchmarks (ns/run, OLS on monotonic clock) \
+                 ===\n\n%!";
+  let tests =
+    workload_tests ~filter ()
+    @ (if filter = [] then infra_tests () else [])
+  in
   List.iter
     (fun (name, est) -> Printf.printf "%-28s %14.0f ns/run\n%!" name est)
-    (List.sort compare !rows)
+    (measure_tests tests)
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable simulator throughput baseline                      *)
+
+let bench_json_file = "BENCH_simulator.json"
+
+(* Simulated cycles per wall-clock second: how fast the simulator
+   retires machine cycles, the figure of merit for sweeping large
+   configurations.  One checked run per variant supplies the cycle
+   count; Bechamel supplies ns/run. *)
+let run_json ?(filter = []) () =
+  let workloads = selected_workloads filter in
+  if workloads = [] then failwith "json: no workloads selected";
+  let cycle_counts =
+    List.concat_map
+      (fun (w : W.Workload.t) ->
+        let entries =
+          [ (w.name ^ "/xsim", w.name, "xsim", run_variant w.ximd) ]
+        in
+        match w.vliw with
+        | None -> entries
+        | Some vliw ->
+          entries @ [ (w.name ^ "/vsim", w.name, "vsim", run_variant vliw) ])
+      workloads
+  in
+  let estimates = measure_tests (workload_tests ~filter ()) in
+  let oc = open_out bench_json_file in
+  let first = ref true in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"schema\": \"ximd-bench/1\",\n";
+  Printf.fprintf oc "  \"quota_seconds\": %g,\n" (quota_seconds ());
+  Printf.fprintf oc "  \"entries\": [";
+  List.iter
+    (fun (name, workload, simulator, cycles) ->
+      match List.assoc_opt name estimates with
+      | None -> ()
+      | Some ns_per_run ->
+        let cycles_per_sec = float_of_int cycles /. (ns_per_run *. 1e-9) in
+        Printf.fprintf oc "%s\n    { \"name\": %S, \"workload\": %S, \
+                           \"simulator\": %S,\n      \"cycles\": %d, \
+                           \"ns_per_run\": %.1f, \"cycles_per_sec\": %.1f }"
+          (if !first then "" else ",")
+          name workload simulator cycles ns_per_run cycles_per_sec;
+        first := false)
+    cycle_counts;
+  Printf.fprintf oc "\n  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d entries)\n%!" bench_json_file
+    (List.length cycle_counts);
+  List.iter
+    (fun (name, workload, simulator, cycles) ->
+      ignore workload;
+      ignore simulator;
+      match List.assoc_opt name estimates with
+      | None -> ()
+      | Some ns ->
+        Printf.printf "%-28s %14.0f ns/run %16.0f cycles/sec\n%!" name ns
+          (float_of_int cycles /. (ns *. 1e-9)))
+    cycle_counts
 
 (* ------------------------------------------------------------------ *)
 
@@ -116,17 +212,41 @@ let run_experiment id =
     Format.pp_close_box fmt ();
     Format.pp_print_newline fmt ()
   | None ->
-    Printf.eprintf "unknown experiment %S (have: %s, micro)\n" id
+    Printf.eprintf "unknown experiment %S (have: %s, micro, json)\n" id
       (String.concat ", " (List.map fst Ximd_report.Experiments.known));
     exit 1
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let workload_names =
+    List.map (fun (w : W.Workload.t) -> w.name) (W.Suite.all ())
+  in
+  let filter, args =
+    List.partition (fun a -> List.mem a workload_names) args
+  in
+  let known_ids =
+    List.map fst (Ximd_report.Experiments.known @ Ximd_report.Ablations.known)
+  in
+  (* Reject typos before any (potentially long) run starts. *)
+  List.iter
+    (fun arg ->
+      if arg <> "micro" && arg <> "json" && not (List.mem arg known_ids) then begin
+        Printf.eprintf
+          "unknown argument %S (expected a workload name, an experiment id, \
+           micro or json)\n"
+          arg;
+        exit 1
+      end)
+    args;
   match args with
-  | [] ->
+  | [] when filter = [] ->
     run_experiment "all";
     run_experiment "ablations"
+  | [] -> run_micro ~filter ()
   | args ->
     List.iter
-      (fun arg -> if arg = "micro" then run_micro () else run_experiment arg)
+      (fun arg ->
+        if arg = "micro" then run_micro ~filter ()
+        else if arg = "json" then run_json ~filter ()
+        else run_experiment arg)
       args

@@ -1,19 +1,41 @@
 open Ximd_isa
 module M = Ximd_machine
 
-type cc_update = { fu : int; value : bool }
+(* Shared [Some] cells so committing a condition code does not allocate
+   a fresh option every cycle. *)
+let some_true = Some true
+let some_false = Some false
 
+let undefined_cc (state : State.t) ~fu j =
+  M.Hazard.report state.log ~cycle:state.cycle
+    (M.Hazard.Undefined_cc { cc = j; fu });
+  false
+
+(* Specialised over {!Ximd_isa.Cond.eval} so the per-cycle path builds
+   no closures and no mask lists. *)
 let eval_cond (state : State.t) ~fu cond =
-  let cc j =
+  match (cond : Cond.t) with
+  | Cond.Always1 -> true
+  | Cond.Always2 -> false
+  | Cond.Cc j -> (
     match state.ccs.(j) with
     | Some b -> b
-    | None ->
-      M.Hazard.report state.log ~cycle:state.cycle
-        (M.Hazard.Undefined_cc { cc = j; fu });
-      false
-  in
-  let ss j = state.sss.(j) in
-  Cond.eval cond ~cc ~ss
+    | None -> undefined_cc state ~fu j)
+  | Cond.Ss j -> Sync.equal state.sss.(j) Sync.Done
+  | Cond.All_ss mask ->
+    let rec all i =
+      1 lsl i > mask
+      || (mask land (1 lsl i) = 0 || Sync.equal state.sss.(i) Sync.Done)
+         && all (i + 1)
+    in
+    all 0
+  | Cond.Any_ss mask ->
+    let rec any i =
+      1 lsl i <= mask
+      && ((mask land (1 lsl i) <> 0 && Sync.equal state.sss.(i) Sync.Done)
+          || any (i + 1))
+    in
+    any 0
 
 let operand_value (state : State.t) = function
   | Operand.Reg r -> M.Regfile.read state.regs r
@@ -22,110 +44,160 @@ let operand_value (state : State.t) = function
 (* Register/memory results commit at the end of cycle
    [issue + result_latency - 1]; latency 1 (the research model) stages
    directly into this cycle's commit. *)
-let defer (state : State.t) deferred =
-  let due = state.cycle + state.config.result_latency - 1 in
-  state.in_flight <- (due, deferred) :: state.in_flight
+let defer (state : State.t) ~is_mem ~fu ~loc value =
+  let ifl = state.inflight in
+  let cap = Array.length ifl.ifl_due in
+  if ifl.ifl_len = cap then begin
+    let cap' = 2 * cap in
+    let due = Array.make cap' 0
+    and is_mem' = Array.make cap' false
+    and fu' = Array.make cap' 0
+    and loc' = Array.make cap' 0
+    and value' = Array.make cap' Value.zero in
+    Array.blit ifl.ifl_due 0 due 0 cap;
+    Array.blit ifl.ifl_is_mem 0 is_mem' 0 cap;
+    Array.blit ifl.ifl_fu 0 fu' 0 cap;
+    Array.blit ifl.ifl_loc 0 loc' 0 cap;
+    Array.blit ifl.ifl_value 0 value' 0 cap;
+    ifl.ifl_due <- due;
+    ifl.ifl_is_mem <- is_mem';
+    ifl.ifl_fu <- fu';
+    ifl.ifl_loc <- loc';
+    ifl.ifl_value <- value'
+  end;
+  let k = ifl.ifl_len in
+  ifl.ifl_due.(k) <- state.cycle + state.config.result_latency - 1;
+  ifl.ifl_is_mem.(k) <- is_mem;
+  ifl.ifl_fu.(k) <- fu;
+  ifl.ifl_loc.(k) <- loc;
+  ifl.ifl_value.(k) <- value;
+  ifl.ifl_len <- k + 1
 
 let stage_reg_write (state : State.t) ~fu reg value =
   if state.config.result_latency = 1 then
     M.Regfile.stage_write state.regs ~fu reg value
-  else defer state (State.Dreg { fu; reg; value })
+  else defer state ~is_mem:false ~fu ~loc:(Reg.index reg) value
 
 let stage_mem_write (state : State.t) ~fu addr value =
   if state.config.result_latency = 1 then
     M.Memory.stage_write state.mem ~fu ~cycle:state.cycle ~log:state.log addr
       value
-  else defer state (State.Dmem { fu; addr; value })
+  else defer state ~is_mem:true ~fu ~loc:addr value
+
+let push_cc (state : State.t) ~fu value =
+  let s = state.scratch in
+  s.cc_fu.(s.cc_len) <- fu;
+  s.cc_val.(s.cc_len) <- value;
+  s.cc_len <- s.cc_len + 1
 
 let exec_data (state : State.t) ~fu (data : Parcel.data) =
   let stats = state.stats in
-  let value = operand_value state in
-  let stage_reg d v = stage_reg_write state ~fu d v in
-  let count_int () = stats.int_ops <- stats.int_ops + 1 in
-  let count_float () = stats.float_ops <- stats.float_ops + 1 in
   if not (Parcel.is_nop data) then stats.data_ops <- stats.data_ops + 1;
   match data with
-  | Parcel.Dnop ->
-    stats.nops <- stats.nops + 1;
-    None
+  | Parcel.Dnop -> stats.nops <- stats.nops + 1
   | Parcel.Dbin { op; a; b; d } ->
-    if Opcode.binop_is_float op then count_float () else count_int ();
+    if Opcode.binop_is_float op then stats.float_ops <- stats.float_ops + 1
+    else stats.int_ops <- stats.int_ops + 1;
     let result =
-      match M.Alu.eval_bin op (value a) (value b) with
-      | Ok v -> v
-      | Error M.Alu.Division_by_zero ->
+      match
+        M.Alu.eval_bin_exn op (operand_value state a) (operand_value state b)
+      with
+      | v -> v
+      | exception M.Alu.Fault M.Alu.Division_by_zero ->
         M.Hazard.report state.log ~cycle:state.cycle
           (M.Hazard.Div_by_zero { fu });
         Value.zero
     in
-    stage_reg d result;
-    None
+    stage_reg_write state ~fu d result
   | Parcel.Dun { op; a; d } ->
-    if Opcode.unop_is_float op then count_float () else count_int ();
-    stage_reg d (M.Alu.eval_un op (value a));
-    None
+    if Opcode.unop_is_float op then stats.float_ops <- stats.float_ops + 1
+    else stats.int_ops <- stats.int_ops + 1;
+    stage_reg_write state ~fu d (M.Alu.eval_un op (operand_value state a))
   | Parcel.Dcmp { op; a; b } ->
     stats.cmp_ops <- stats.cmp_ops + 1;
-    if Opcode.cmpop_is_float op then count_float () else count_int ();
-    Some { fu; value = M.Alu.eval_cmp op (value a) (value b) }
+    if Opcode.cmpop_is_float op then stats.float_ops <- stats.float_ops + 1
+    else stats.int_ops <- stats.int_ops + 1;
+    push_cc state ~fu
+      (M.Alu.eval_cmp op (operand_value state a) (operand_value state b))
   | Parcel.Dload { a; b; d } ->
     stats.mem_ops <- stats.mem_ops + 1;
     let addr =
-      Int32.to_int (Int32.add (Value.to_int32 (value a))
-                      (Value.to_int32 (value b)))
+      Int32.to_int
+        (Int32.add
+           (Value.to_int32 (operand_value state a))
+           (Value.to_int32 (operand_value state b)))
     in
-    stage_reg d
-      (M.Memory.read state.mem ~fu ~cycle:state.cycle ~log:state.log addr);
-    None
+    stage_reg_write state ~fu d
+      (M.Memory.read state.mem ~fu ~cycle:state.cycle ~log:state.log addr)
   | Parcel.Dstore { a; b } ->
     stats.mem_ops <- stats.mem_ops + 1;
-    let addr = Int32.to_int (Value.to_int32 (value b)) in
-    stage_mem_write state ~fu addr (value a);
-    None
+    let addr = Int32.to_int (Value.to_int32 (operand_value state b)) in
+    stage_mem_write state ~fu addr (operand_value state a)
   | Parcel.Din { port; d } ->
     stats.io_ops <- stats.io_ops + 1;
-    let port = Int32.to_int (Value.to_int32 (value port)) in
-    stage_reg d
-      (M.Ioport.read state.io ~fu ~cycle:state.cycle ~log:state.log port);
-    None
+    let port = Int32.to_int (Value.to_int32 (operand_value state port)) in
+    stage_reg_write state ~fu d
+      (M.Ioport.read state.io ~fu ~cycle:state.cycle ~log:state.log port)
   | Parcel.Dout { a; port } ->
     stats.io_ops <- stats.io_ops + 1;
-    let port = Int32.to_int (Value.to_int32 (value port)) in
+    let port = Int32.to_int (Value.to_int32 (operand_value state port)) in
     M.Ioport.write state.io ~fu ~cycle:state.cycle ~log:state.log port
-      (value a);
-    None
+      (operand_value state a)
 
 (* Move pipeline results whose write-back stage is this cycle into the
-   commit stage. *)
+   commit stage.  Entries are in issue order, so committing front to
+   back preserves issue order; survivors are compacted in place. *)
 let flush_due (state : State.t) =
-  if state.in_flight <> [] then begin
-    let due, later =
-      List.partition (fun (when_, _) -> when_ <= state.cycle) state.in_flight
-    in
-    state.in_flight <- later;
-    (* Oldest first, so two in-flight writes to one register commit in
-       issue order (still a hazard if they land the same cycle). *)
-    List.iter
-      (fun (_, deferred) ->
-        match deferred with
-        | State.Dreg { fu; reg; value } ->
-          M.Regfile.stage_write state.regs ~fu reg value
-        | State.Dmem { fu; addr; value } ->
+  let ifl = state.inflight in
+  if ifl.ifl_len > 0 then begin
+    let len = ifl.ifl_len in
+    let kept = ref 0 in
+    for k = 0 to len - 1 do
+      if ifl.ifl_due.(k) <= state.cycle then begin
+        let fu = ifl.ifl_fu.(k)
+        and loc = ifl.ifl_loc.(k)
+        and value = ifl.ifl_value.(k) in
+        if ifl.ifl_is_mem.(k) then
           M.Memory.stage_write state.mem ~fu ~cycle:state.cycle
-            ~log:state.log addr value)
-      (List.rev due)
+            ~log:state.log loc value
+        else M.Regfile.stage_write state.regs ~fu (Reg.make loc) value
+      end
+      else begin
+        let j = !kept in
+        ifl.ifl_due.(j) <- ifl.ifl_due.(k);
+        ifl.ifl_is_mem.(j) <- ifl.ifl_is_mem.(k);
+        ifl.ifl_fu.(j) <- ifl.ifl_fu.(k);
+        ifl.ifl_loc.(j) <- ifl.ifl_loc.(k);
+        ifl.ifl_value.(j) <- ifl.ifl_value.(k);
+        incr kept
+      end
+    done;
+    ifl.ifl_len <- !kept
   end
 
-let commit_cycle (state : State.t) cc_updates =
-  flush_due state;
-  M.Regfile.commit state.regs ~cycle:state.cycle ~log:state.log;
-  M.Memory.commit state.mem ~cycle:state.cycle ~log:state.log;
-  List.iter (fun { fu; value } -> state.ccs.(fu) <- Some value) cc_updates
+let commit_cycle (state : State.t) =
+  let s = state.scratch in
+  match
+    flush_due state;
+    M.Regfile.commit state.regs ~cycle:state.cycle ~log:state.log;
+    M.Memory.commit state.mem ~cycle:state.cycle ~log:state.log
+  with
+  | () ->
+    for k = 0 to s.cc_len - 1 do
+      state.ccs.(s.cc_fu.(k)) <-
+        (if s.cc_val.(k) then some_true else some_false)
+    done;
+    s.cc_len <- 0
+  | exception e ->
+    (* a Raise-policy hazard aborts the cycle: staged condition codes
+       must not leak into the next one *)
+    s.cc_len <- 0;
+    raise e
 
 (* Drain the datapath pipeline after the last FU halts: remaining
    results commit in issue order over the following "cycles". *)
 let drain_pipeline (state : State.t) =
-  while state.in_flight <> [] do
+  while state.inflight.ifl_len > 0 do
     state.cycle <- state.cycle + 1;
-    commit_cycle state []
+    commit_cycle state
   done

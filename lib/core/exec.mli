@@ -3,27 +3,30 @@
     Both simulators (XIMD {!Xsim} and the VLIW baseline {!Vsim}) use this
     module: they differ only in their control paths.  All reads observe
     start-of-cycle state; all writes (registers, memory, condition codes)
-    are staged and applied by {!commit_cycle}. *)
+    are staged and applied by {!commit_cycle}.
+
+    The per-cycle path is allocation-free: condition evaluation builds no
+    closures or mask lists, condition-code updates go through the
+    preallocated buffer in [state.scratch], and pipelined results live in
+    the growable parallel arrays of [state.inflight]. *)
 
 open Ximd_isa
-
-type cc_update = { fu : int; value : bool }
 
 val eval_cond : State.t -> fu:int -> Cond.t -> bool
 (** Evaluates a branch condition against the start-of-cycle CC/SS state.
     Branching on a never-set condition code reports
     {!Ximd_machine.Hazard.Undefined_cc} and evaluates it as [false]. *)
 
-val exec_data : State.t -> fu:int -> Parcel.data -> cc_update option
+val exec_data : State.t -> fu:int -> Parcel.data -> unit
 (** Executes one data operation for [fu]: reads operands, stages register
-    and memory writes, performs I/O, updates statistics, and returns the
-    staged condition-code update for compares. *)
+    and memory writes, performs I/O, updates statistics, and pushes the
+    staged condition-code update for compares into [state.scratch]. *)
 
-val commit_cycle : State.t -> cc_update list -> unit
+val commit_cycle : State.t -> unit
 (** Commits staged register and memory writes (including in-flight
     pipelined results whose write-back stage is this cycle) and applies
-    condition-code updates.  Does not advance PCs or the cycle counter —
-    that is the control path's job. *)
+    the condition-code updates buffered in [state.scratch].  Does not
+    advance PCs or the cycle counter — that is the control path's job. *)
 
 val drain_pipeline : State.t -> unit
 (** Commits any still-in-flight pipelined results after all FUs have

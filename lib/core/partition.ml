@@ -43,6 +43,17 @@ let n_fus t = List.fold_left (fun n g -> n + List.length g) 0 t
 
 let count = List.length
 
+let rec sset_live (halted : bool array) = function
+  | [] -> false
+  | fu :: rest -> (not halted.(fu)) || sset_live halted rest
+
+let rec count_live_aux halted acc = function
+  | [] -> acc
+  | sset :: rest ->
+    count_live_aux halted (if sset_live halted sset then acc + 1 else acc) rest
+
+let count_live t ~halted = count_live_aux halted 0 t
+
 let sset_of t fu =
   match List.find_opt (List.mem fu) t with
   | Some g -> g

@@ -39,6 +39,10 @@ val n_fus : t -> int
 val count : t -> int
 (** Number of SSETs, i.e. concurrently executing instruction streams. *)
 
+val count_live : t -> halted:bool array -> int
+(** Number of SSETs containing at least one FU whose [halted] flag is
+    unset.  Allocation-free — used on the simulators' per-cycle path. *)
+
 val sset_of : t -> int -> int list
 (** The SSET containing the given FU. *)
 

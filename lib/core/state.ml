@@ -1,8 +1,26 @@
 open Ximd_isa
 
-type deferred =
-  | Dreg of { fu : int; reg : Reg.t; value : Value.t }
-  | Dmem of { fu : int; addr : int; value : Value.t }
+type scratch = {
+  parcels : Parcel.t array;
+  was_live : bool array;
+  taken : bool array;
+  old_pcs : int array;
+  sigs : Control.t array;
+  prev_sigs : Control.t array;
+  mutable prev_sigs_valid : bool;
+  cc_fu : int array;
+  cc_val : bool array;
+  mutable cc_len : int;
+}
+
+type inflight = {
+  mutable ifl_len : int;
+  mutable ifl_due : int array;
+  mutable ifl_is_mem : bool array;
+  mutable ifl_fu : int array;
+  mutable ifl_loc : int array;
+  mutable ifl_value : Value.t array;
+}
 
 type t = {
   config : Config.t;
@@ -18,15 +36,37 @@ type t = {
   sss : Sync.t array;
   halted : bool array;
   mutable partition : Partition.t;
-  mutable in_flight : (int * deferred) list;
+  scratch : scratch;
+  inflight : inflight;
 }
 
+(* Program.validate walks every parcel of the program.  Benchmarks and
+   workload sweeps create thousands of states for the same immutable
+   program/config pair, so remember recently validated pairs (compared
+   by physical equality — both values are immutable). *)
+let validated : (Program.t * Config.t) option array = Array.make 8 None
+let validated_next = ref 0
+
+let ensure_valid program config =
+  let cached =
+    Array.exists
+      (function
+        | Some (p, c) -> p == program && c == config
+        | None -> false)
+      validated
+  in
+  if not cached then begin
+    (match Program.validate program config with
+     | Ok () -> ()
+     | Error errors ->
+       invalid_arg
+         ("State.create: invalid program:\n" ^ String.concat "\n" errors));
+    validated.(!validated_next) <- Some (program, config);
+    validated_next := (!validated_next + 1) mod Array.length validated
+  end
+
 let create ?(config = Config.default) program =
-  (match Program.validate program config with
-   | Ok () -> ()
-   | Error errors ->
-     invalid_arg
-       ("State.create: invalid program:\n" ^ String.concat "\n" errors));
+  ensure_valid program config;
   let n = config.n_fus in
   { config;
     program;
@@ -43,13 +83,47 @@ let create ?(config = Config.default) program =
     sss = Array.make n Sync.Busy;
     halted = Array.make n false;
     partition = Partition.initial ~n;
-    in_flight = [] }
+    scratch =
+      { parcels = Array.make n Parcel.halted;
+        was_live = Array.make n false;
+        taken = Array.make n false;
+        old_pcs = Array.make n 0;
+        sigs = Array.make n Control.Halt;
+        prev_sigs = Array.make n Control.Halt;
+        prev_sigs_valid = false;
+        cc_fu = Array.make n 0;
+        cc_val = Array.make n false;
+        cc_len = 0 };
+    inflight =
+      (let cap = max 16 (n * config.result_latency) in
+       { ifl_len = 0;
+         ifl_due = Array.make cap 0;
+         ifl_is_mem = Array.make cap false;
+         ifl_fu = Array.make cap 0;
+         ifl_loc = Array.make cap 0;
+         ifl_value = Array.make cap Value.zero }) }
 
 let n_fus t = t.config.n_fus
 let all_halted t = Array.for_all Fun.id t.halted
 
+let live_fu_count t =
+  let n = ref 0 in
+  Array.iter (fun h -> if not h then incr n) t.halted;
+  !n
+
+let iter_live_fus t f =
+  for fu = 0 to n_fus t - 1 do
+    if not t.halted.(fu) then f fu
+  done
+
 let live_fus t =
-  List.filter (fun fu -> not t.halted.(fu)) (List.init (n_fus t) Fun.id)
+  let rec go fu acc =
+    if fu < 0 then acc
+    else go (fu - 1) (if t.halted.(fu) then acc else fu :: acc)
+  in
+  go (n_fus t - 1) []
+
+let in_flight_count t = t.inflight.ifl_len
 
 let cc t i = t.ccs.(i)
 let ss t i = t.sss.(i)

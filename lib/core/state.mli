@@ -7,13 +7,41 @@
 
     Condition codes start undefined (Figure 10 prints them as [X]) and
     become defined when a compare executes on that FU.  Synchronisation
-    signals start at BUSY. *)
+    signals start at BUSY.
+
+    The [scratch] and [inflight] fields are preallocated working storage
+    for the simulator hot loop ({!Xsim}, {!Vsim}, {!Exec}); they carry no
+    architectural state between cycles and other clients should ignore
+    them. *)
 
 open Ximd_isa
 
-type deferred =
-  | Dreg of { fu : int; reg : Reg.t; value : Value.t }
-  | Dmem of { fu : int; addr : int; value : Value.t }
+type scratch = {
+  parcels : Parcel.t array;  (** this cycle's fetched parcels *)
+  was_live : bool array;     (** liveness at start of cycle *)
+  taken : bool array;        (** branch-condition outcomes *)
+  old_pcs : int array;       (** PCs at start of cycle *)
+  sigs : Control.t array;    (** normalised control signatures *)
+  prev_sigs : Control.t array;
+      (** previous cycle's signatures, for partition reuse *)
+  mutable prev_sigs_valid : bool;
+  cc_fu : int array;         (** staged condition-code updates… *)
+  cc_val : bool array;       (** …with their new values *)
+  mutable cc_len : int;
+}
+(** Per-cycle scratch buffers, sized [n_fus], reused every cycle so the
+    simulators allocate nothing per step. *)
+
+type inflight = {
+  mutable ifl_len : int;
+  mutable ifl_due : int array;     (** cycle whose end the write commits at *)
+  mutable ifl_is_mem : bool array; (** memory store vs. register write *)
+  mutable ifl_fu : int array;
+  mutable ifl_loc : int array;     (** register index or memory address *)
+  mutable ifl_value : Value.t array;
+}
+(** Pipelined datapath results not yet committed, in issue order, as
+    growable parallel arrays (empty when [config.result_latency = 1]). *)
 
 type t = {
   config : Config.t;
@@ -29,10 +57,8 @@ type t = {
   sss : Sync.t array;
   halted : bool array;
   mutable partition : Partition.t;
-  mutable in_flight : (int * deferred) list;
-      (** pipelined datapath results not yet committed, tagged with the
-          cycle whose end they commit at (empty when
-          [config.result_latency = 1]) *)
+  scratch : scratch;
+  inflight : inflight;
 }
 
 val create : ?config:Config.t -> Program.t -> t
@@ -42,7 +68,21 @@ val create : ?config:Config.t -> Program.t -> t
 
 val n_fus : t -> int
 val all_halted : t -> bool
+
 val live_fus : t -> int list
+(** The indices of FUs that have not halted.  Allocates the result list;
+    per-cycle code should use {!iter_live_fus} or {!live_fu_count}
+    instead. *)
+
+val live_fu_count : t -> int
+(** Number of FUs that have not halted, without allocating. *)
+
+val iter_live_fus : t -> (int -> unit) -> unit
+(** [iter_live_fus t f] applies [f] to each live FU index in ascending
+    order, without allocating. *)
+
+val in_flight_count : t -> int
+(** Number of pipelined results awaiting write-back. *)
 
 val cc : t -> int -> bool option
 val ss : t -> int -> Sync.t

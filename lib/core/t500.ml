@@ -32,7 +32,6 @@ let step ?tracer (state : State.t) =
     let _, half = bank_bounds n in
     let leaders = [ (0, half - 1); (half, n - 1) ] in
     let stats = state.stats in
-    let cc_updates = ref [] in
     let bank_next = ref [] in
     List.iter
       (fun (leader, last) ->
@@ -52,10 +51,7 @@ let step ?tracer (state : State.t) =
             in
             for fu = leader to last do
               match Program.fetch state.program ~fu ~addr:pc with
-              | Some parcel -> (
-                match Exec.exec_data state ~fu parcel.data with
-                | Some update -> cc_updates := update :: !cc_updates
-                | None -> ())
+              | Some parcel -> Exec.exec_data state ~fu parcel.data
               | None -> ()
             done;
             (match control_parcel.control with
@@ -76,7 +72,7 @@ let step ?tracer (state : State.t) =
         end
         else stats.halted_slots <- stats.halted_slots + (last - leader + 1))
       leaders;
-    Exec.commit_cycle state !cc_updates;
+    Exec.commit_cycle state;
     List.iter
       (fun (leader, last, next) ->
         match next with
@@ -108,10 +104,7 @@ let step ?tracer (state : State.t) =
        mode. *)
     state.partition <- Partition.of_signatures signatures;
     let live_streams =
-      List.length
-        (List.filter
-           (List.exists (fun fu -> not state.halted.(fu)))
-           (Partition.ssets state.partition))
+      Partition.count_live state.partition ~halted:state.halted
     in
     if live_streams > stats.max_streams then stats.max_streams <- live_streams;
     state.cycle <- state.cycle + 1;

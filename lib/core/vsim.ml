@@ -30,13 +30,10 @@ let step ?tracer (state : State.t) =
         | Control.Halt -> false
         | Control.Branch { cond; _ } -> Exec.eval_cond state ~fu:0 cond
       in
-      let cc_updates = ref [] in
       for fu = 0 to n - 1 do
-        match Exec.exec_data state ~fu row.(fu).data with
-        | Some update -> cc_updates := update :: !cc_updates
-        | None -> ()
+        Exec.exec_data state ~fu row.(fu).data
       done;
-      Exec.commit_cycle state !cc_updates;
+      Exec.commit_cycle state;
       (match control with
        | Control.Halt -> halt_all state
        | Control.Branch { cond; _ } ->

@@ -3,7 +3,15 @@ module M = Ximd_machine
 
 (* One cycle of the XIMD machine.  All reads observe start-of-cycle
    state; all writes commit at the end (paper §2.2, verified against the
-   Figure 10 trace — see DESIGN.md §5). *)
+   Figure 10 trace — see DESIGN.md §5).
+
+   The loop works entirely in the preallocated [state.scratch] buffers:
+   a steady-state cycle allocates nothing beyond the boxed ALU results
+   and, when the control signatures changed, a fresh partition. *)
+
+let rec sigs_equal (a : Control.t array) b fu n =
+  fu >= n || (Control.equal a.(fu) b.(fu) && sigs_equal a b (fu + 1) n)
+
 let step ?tracer (state : State.t) =
   if State.all_halted state then ()
   else begin
@@ -12,43 +20,46 @@ let step ?tracer (state : State.t) =
      | None -> ());
     let n = State.n_fus state in
     let stats = state.stats in
+    let s = state.scratch in
+    let parcels = s.parcels
+    and was_live = s.was_live
+    and taken = s.taken in
+    let program = state.program in
+    let len = Program.length program in
     (* Fetch.  A live FU whose PC is outside the program has fallen off
        the end: report and treat as a halt parcel. *)
-    let parcels =
-      Array.init n (fun fu ->
-        if state.halted.(fu) then Parcel.halted
-        else
-          match Program.fetch state.program ~fu ~addr:state.pcs.(fu) with
-          | Some p -> p
-          | None ->
-            M.Hazard.report state.log ~cycle:state.cycle
-              (M.Hazard.Fell_off_end { fu; addr = state.pcs.(fu) });
-            Parcel.halted)
-    in
-    let was_live = Array.map not state.halted in
-    (* Branch-condition evaluation against start-of-cycle CC/SS. *)
-    let taken =
-      Array.init n (fun fu ->
-        if not was_live.(fu) then false
-        else
-          match parcels.(fu).control with
-          | Control.Halt -> false
-          | Control.Branch { cond; _ } -> Exec.eval_cond state ~fu cond)
-    in
-    (* Data operations. *)
-    let cc_updates = ref [] in
     for fu = 0 to n - 1 do
-      if was_live.(fu) then begin
-        match Exec.exec_data state ~fu parcels.(fu).data with
-        | Some update -> cc_updates := update :: !cc_updates
-        | None -> ()
+      was_live.(fu) <- not state.halted.(fu);
+      if state.halted.(fu) then parcels.(fu) <- Parcel.halted
+      else begin
+        let pc = state.pcs.(fu) in
+        if pc >= 0 && pc < len then parcels.(fu) <- (Program.row program pc).(fu)
+        else begin
+          M.Hazard.report state.log ~cycle:state.cycle
+            (M.Hazard.Fell_off_end { fu; addr = pc });
+          parcels.(fu) <- Parcel.halted
+        end
       end
+    done;
+    (* Branch-condition evaluation against start-of-cycle CC/SS. *)
+    for fu = 0 to n - 1 do
+      taken.(fu) <-
+        was_live.(fu)
+        &&
+        match parcels.(fu).control with
+        | Control.Halt -> false
+        | Control.Branch { cond; _ } -> Exec.eval_cond state ~fu cond
+    done;
+    (* Data operations. *)
+    for fu = 0 to n - 1 do
+      if was_live.(fu) then Exec.exec_data state ~fu parcels.(fu).data
       else stats.halted_slots <- stats.halted_slots + 1
     done;
-    Exec.commit_cycle state !cc_updates;
+    Exec.commit_cycle state;
     (* Control commit: sync signals, next PCs, halts; spin and branch
        statistics. *)
-    let old_pcs = Array.copy state.pcs in
+    let old_pcs = s.old_pcs in
+    Array.blit state.pcs 0 old_pcs 0 n;
     for fu = 0 to n - 1 do
       if was_live.(fu) then begin
         match parcels.(fu).control with
@@ -69,19 +80,23 @@ let step ?tracer (state : State.t) =
            | None -> assert false)
       end
     done;
-    (* Partition update from the executed control signatures. *)
-    let signatures =
-      Array.init n (fun fu ->
-        if was_live.(fu) then
-          Control.normalised_signature parcels.(fu).control ~pc:old_pcs.(fu)
-        else Control.Halt)
-    in
-    state.partition <- Partition.of_signatures signatures;
+    (* Partition update from the executed control signatures.  Spin
+       loops re-execute the same signatures for many cycles, so reuse
+       the previous partition when nothing changed. *)
+    let sigs = s.sigs in
+    for fu = 0 to n - 1 do
+      sigs.(fu) <-
+        (if was_live.(fu) then
+           Control.normalised_signature parcels.(fu).control ~pc:old_pcs.(fu)
+         else Control.Halt)
+    done;
+    if not (s.prev_sigs_valid && sigs_equal sigs s.prev_sigs 0 n) then begin
+      state.partition <- Partition.of_signatures sigs;
+      Array.blit sigs 0 s.prev_sigs 0 n;
+      s.prev_sigs_valid <- true
+    end;
     let live_streams =
-      List.length
-        (List.filter
-           (List.exists (fun fu -> not state.halted.(fu)))
-           (Partition.ssets state.partition))
+      Partition.count_live state.partition ~halted:state.halted
     in
     if live_streams > stats.max_streams then stats.max_streams <- live_streams;
     state.cycle <- state.cycle + 1;

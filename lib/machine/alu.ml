@@ -2,6 +2,8 @@ open Ximd_isa
 
 type fault = Division_by_zero
 
+exception Fault of fault
+
 let int_op f a b = Value.of_int32 (f (Value.to_int32 a) (Value.to_int32 b))
 
 let float_op f a b =
@@ -11,27 +13,32 @@ let shift f a b =
   let amount = Int32.to_int (Value.to_int32 b) land 31 in
   Value.of_int32 (f (Value.to_int32 a) amount)
 
-let eval_bin (op : Opcode.binop) a b =
+let eval_bin_exn (op : Opcode.binop) a b =
   match op with
-  | Iadd -> Ok (int_op Int32.add a b)
-  | Isub -> Ok (int_op Int32.sub a b)
-  | Imult -> Ok (int_op Int32.mul a b)
+  | Iadd -> int_op Int32.add a b
+  | Isub -> int_op Int32.sub a b
+  | Imult -> int_op Int32.mul a b
   | Idiv ->
-    if Value.equal b Value.zero then Error Division_by_zero
-    else Ok (int_op Int32.div a b)
+    if Value.equal b Value.zero then raise (Fault Division_by_zero)
+    else int_op Int32.div a b
   | Imod ->
-    if Value.equal b Value.zero then Error Division_by_zero
-    else Ok (int_op Int32.rem a b)
-  | And -> Ok (int_op Int32.logand a b)
-  | Or -> Ok (int_op Int32.logor a b)
-  | Xor -> Ok (int_op Int32.logxor a b)
-  | Shl -> Ok (shift Int32.shift_left a b)
-  | Shr -> Ok (shift Int32.shift_right_logical a b)
-  | Sar -> Ok (shift Int32.shift_right a b)
-  | Fadd -> Ok (float_op ( +. ) a b)
-  | Fsub -> Ok (float_op ( -. ) a b)
-  | Fmult -> Ok (float_op ( *. ) a b)
-  | Fdiv -> Ok (float_op ( /. ) a b)
+    if Value.equal b Value.zero then raise (Fault Division_by_zero)
+    else int_op Int32.rem a b
+  | And -> int_op Int32.logand a b
+  | Or -> int_op Int32.logor a b
+  | Xor -> int_op Int32.logxor a b
+  | Shl -> shift Int32.shift_left a b
+  | Shr -> shift Int32.shift_right_logical a b
+  | Sar -> shift Int32.shift_right a b
+  | Fadd -> float_op ( +. ) a b
+  | Fsub -> float_op ( -. ) a b
+  | Fmult -> float_op ( *. ) a b
+  | Fdiv -> float_op ( /. ) a b
+
+let eval_bin op a b =
+  match eval_bin_exn op a b with
+  | v -> Ok v
+  | exception Fault f -> Error f
 
 let eval_un (op : Opcode.unop) a =
   match op with

@@ -18,8 +18,14 @@ open Ximd_isa
 
 type fault = Division_by_zero
 
+exception Fault of fault
+
 val eval_bin :
   Opcode.binop -> Value.t -> Value.t -> (Value.t, fault) result
+
+val eval_bin_exn : Opcode.binop -> Value.t -> Value.t -> Value.t
+(** Like {!eval_bin} but raises {!Fault} on a fault, so the non-faulting
+    path (the simulator hot loop) allocates no [result]. *)
 
 val eval_un : Opcode.unop -> Value.t -> Value.t
 

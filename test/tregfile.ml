@@ -1,0 +1,183 @@
+(* Regression tests for the flat-array register-file staging: the
+   multiple-write hazard semantics (highest-numbered FU wins, latest
+   write on ties) must survive the rewrite from assoc-list staging, and
+   a qcheck property checks the new implementation commits identical
+   register files to the old one on random write sequences. *)
+
+open Ximd_isa
+module M = Ximd_machine
+module Gen = QCheck2.Gen
+
+let value = Alcotest.testable Value.pp Value.equal
+let fresh_log () = M.Hazard.create_log M.Hazard.Record
+
+(* --- Hazard semantics ------------------------------------------------- *)
+
+let test_three_writers_highest_wins () =
+  let rf = M.Regfile.create () in
+  let log = fresh_log () in
+  let r = Reg.make 12 in
+  M.Regfile.stage_write rf ~fu:5 r (Value.of_int 50);
+  M.Regfile.stage_write rf ~fu:1 r (Value.of_int 10);
+  M.Regfile.stage_write rf ~fu:3 r (Value.of_int 30);
+  M.Regfile.commit rf ~cycle:2 ~log;
+  Alcotest.(check int) "one hazard" 1 (M.Hazard.count log);
+  (match M.Hazard.events log with
+   | [ { cycle = 2; hazard = M.Hazard.Multiple_reg_write { reg; fus } } ] ->
+     Alcotest.(check int) "reg" 12 (Reg.index reg);
+     Alcotest.(check (list int)) "all writers recorded" [ 1; 3; 5 ]
+       (List.sort compare fus)
+   | _ -> Alcotest.fail "expected one Multiple_reg_write at cycle 2");
+  Alcotest.check value "highest FU wins" (Value.of_int 50)
+    (M.Regfile.read rf r)
+
+let test_tie_latest_write_wins () =
+  (* Two writes by the same (highest) FU: the later one wins, as under
+     the old fold-from-most-recent resolution. *)
+  let rf = M.Regfile.create () in
+  let log = fresh_log () in
+  let r = Reg.make 3 in
+  M.Regfile.stage_write rf ~fu:2 r (Value.of_int 1);
+  M.Regfile.stage_write rf ~fu:7 r (Value.of_int 2);
+  M.Regfile.stage_write rf ~fu:7 r (Value.of_int 3);
+  M.Regfile.commit rf ~cycle:0 ~log;
+  Alcotest.(check int) "one hazard" 1 (M.Hazard.count log);
+  Alcotest.check value "latest write of highest FU" (Value.of_int 3)
+    (M.Regfile.read rf r)
+
+let test_staged_count_and_clear () =
+  let rf = M.Regfile.create () in
+  let log = fresh_log () in
+  M.Regfile.stage_write rf ~fu:0 (Reg.make 1) Value.one;
+  M.Regfile.stage_write rf ~fu:1 (Reg.make 1) Value.one;
+  M.Regfile.stage_write rf ~fu:2 (Reg.make 2) Value.one;
+  Alcotest.(check int) "staged incl. duplicates" 3
+    (M.Regfile.staged_count rf);
+  M.Regfile.commit rf ~cycle:0 ~log;
+  Alcotest.(check int) "stage cleared" 0 (M.Regfile.staged_count rf);
+  (* A second commit must be a no-op: no re-applied writes, no fresh
+     hazards. *)
+  M.Regfile.set rf (Reg.make 1) (Value.of_int 99);
+  M.Regfile.commit rf ~cycle:1 ~log;
+  Alcotest.check value "no stale staged write" (Value.of_int 99)
+    (M.Regfile.read rf (Reg.make 1));
+  Alcotest.(check int) "no extra hazard" 1 (M.Hazard.count log)
+
+let test_copy_is_independent () =
+  let rf = M.Regfile.create () in
+  let log = fresh_log () in
+  M.Regfile.set rf (Reg.make 0) (Value.of_int 7);
+  M.Regfile.stage_write rf ~fu:1 (Reg.make 5) (Value.of_int 55);
+  let snap = M.Regfile.copy rf in
+  (* The copy carries the staged write… *)
+  M.Regfile.commit snap ~cycle:0 ~log;
+  Alcotest.check value "copy committed staged write" (Value.of_int 55)
+    (M.Regfile.read snap (Reg.make 5));
+  (* …without affecting the original. *)
+  Alcotest.check value "original still start-of-cycle" Value.zero
+    (M.Regfile.read rf (Reg.make 5));
+  M.Regfile.commit rf ~cycle:0 ~log;
+  Alcotest.check value "original commits its own stage" (Value.of_int 55)
+    (M.Regfile.read rf (Reg.make 5));
+  M.Regfile.set snap (Reg.make 0) Value.zero;
+  Alcotest.check value "copy writes don't leak back" (Value.of_int 7)
+    (M.Regfile.read rf (Reg.make 0))
+
+(* --- Old staging as the qcheck reference model ------------------------ *)
+
+module Ref_model = struct
+  type staged = { fu : int; value : Value.t }
+
+  type t = {
+    values : Value.t array;
+    mutable stage : (int * staged list) list;
+    mutable hazards : int;
+  }
+
+  let create () =
+    { values = Array.make Reg.count Value.zero; stage = []; hazards = 0 }
+
+  let stage_write t ~fu r value =
+    let i = Reg.index r in
+    let prior =
+      match List.assoc_opt i t.stage with None -> [] | Some l -> l
+    in
+    t.stage <- (i, { fu; value } :: prior) :: List.remove_assoc i t.stage
+
+  let commit t =
+    let apply (i, writers) =
+      match writers with
+      | [] -> ()
+      | [ { value; _ } ] -> t.values.(i) <- value
+      | _ :: _ :: _ ->
+        t.hazards <- t.hazards + 1;
+        let winner =
+          List.fold_left
+            (fun (best : staged) w -> if w.fu > best.fu then w else best)
+            (List.hd writers) (List.tl writers)
+        in
+        t.values.(i) <- winner.value
+    in
+    let stage = t.stage in
+    t.stage <- [];
+    List.iter apply stage
+end
+
+(* A write sequence: cycles of (fu, reg, value) writes, each cycle
+   followed by a commit. *)
+let gen_write = Gen.triple (Gen.int_bound 7) (Gen.int_bound 31) Gen.int
+let gen_cycle = Gen.list_size (Gen.int_bound 12) gen_write
+let gen_sequence = Gen.list_size (Gen.int_bound 8) gen_cycle
+
+let prop_staging_matches_reference =
+  QCheck2.Test.make ~count:300
+    ~name:"flat-array staging = assoc-list staging"
+    ~print:(fun cycles ->
+      String.concat ";\n"
+        (List.map
+           (fun writes ->
+             String.concat ", "
+               (List.map
+                  (fun (fu, r, v) -> Printf.sprintf "fu%d r%d <- %d" fu r v)
+                  writes))
+           cycles))
+    gen_sequence
+    (fun cycles ->
+      let rf = M.Regfile.create () in
+      let log = fresh_log () in
+      let model = Ref_model.create () in
+      List.iteri
+        (fun cycle writes ->
+          List.iter
+            (fun (fu, r, v) ->
+              let r = Reg.make r and v = Value.of_int v in
+              M.Regfile.stage_write rf ~fu r v;
+              Ref_model.stage_write model ~fu r v)
+            writes;
+          M.Regfile.commit rf ~cycle ~log;
+          Ref_model.commit model)
+        cycles;
+      let got = M.Regfile.dump rf in
+      Array.iteri
+        (fun i v ->
+          if not (Value.equal v model.Ref_model.values.(i)) then
+            QCheck2.Test.fail_reportf "r%d: got %s, reference has %s" i
+              (Value.to_string v)
+              (Value.to_string model.Ref_model.values.(i)))
+        got;
+      if M.Hazard.count log <> model.Ref_model.hazards then
+        QCheck2.Test.fail_reportf "hazards: got %d, reference has %d"
+          (M.Hazard.count log) model.Ref_model.hazards;
+      true)
+
+let suite =
+  [ ( "regfile-staging",
+      [ Alcotest.test_case "three writers, highest wins" `Quick
+          test_three_writers_highest_wins;
+        Alcotest.test_case "tie resolved to latest write" `Quick
+          test_tie_latest_write_wins;
+        Alcotest.test_case "staged_count and stage clearing" `Quick
+          test_staged_count_and_clear;
+        Alcotest.test_case "copy is independent" `Quick
+          test_copy_is_independent;
+        QCheck_alcotest.to_alcotest prop_staging_matches_reference ] ) ]

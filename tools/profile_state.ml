@@ -1,0 +1,40 @@
+(* Breaks a workload micro-benchmark run into its phases, to show where
+   the wall-clock goes (tools/profile_state.exe [workload]). *)
+
+module W = Ximd_workloads
+
+let time label iters f =
+  for _ = 1 to iters / 10 do f () done;
+  let t0 = Sys.time () in
+  for _ = 1 to iters do f () done;
+  let t1 = Sys.time () in
+  Printf.printf "%-24s %12.0f ns\n%!" label
+    ((t1 -. t0) /. float_of_int iters *. 1e9)
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "minmax" in
+  let w =
+    match
+      List.find_opt
+        (fun (w : W.Workload.t) -> w.name = name)
+        (W.Suite.all ())
+    with
+    | Some w -> w
+    | None -> failwith ("unknown workload " ^ name)
+  in
+  let v = w.ximd in
+  time "validate" 2000 (fun () ->
+    ignore (Ximd_core.Program.validate v.program v.config));
+  time "create" 2000 (fun () ->
+    ignore (Ximd_core.State.create ~config:v.config v.program));
+  time "create+setup" 2000 (fun () ->
+    let s = Ximd_core.State.create ~config:v.config v.program in
+    v.setup s);
+  time "create+setup+run" 2000 (fun () ->
+    let s = Ximd_core.State.create ~config:v.config v.program in
+    v.setup s;
+    ignore (Ximd_core.Xsim.run s));
+  let s = Ximd_core.State.create ~config:v.config v.program in
+  v.setup s;
+  ignore (Ximd_core.Xsim.run s);
+  Printf.printf "cycles per run: %d\n" s.Ximd_core.State.cycle
