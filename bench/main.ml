@@ -33,7 +33,8 @@ let quota_seconds () =
 let run_variant variant =
   match W.Workload.run variant with
   | Ximd_core.Run.Halted _, state -> state.Ximd_core.State.cycle
-  | Ximd_core.Run.Fuel_exhausted _, _ -> failwith "bench workload hung"
+  | Ximd_core.Run.Fuel_exhausted _, _ | Ximd_core.Run.Deadlocked _, _ ->
+    failwith "bench workload hung"
 
 let selected_workloads filter =
   let all = W.Suite.all () in

@@ -87,10 +87,49 @@ let dump_mem_arg =
     & info [ "dump-mem" ] ~docv:"ADDR:LEN"
         ~doc:"Print LEN memory words starting at ADDR after the run.")
 
+let detect_deadlock_flag =
+  Arg.(
+    value & flag
+    & info [ "detect-deadlock" ]
+        ~doc:"Watch for deadlock/livelock: if the machine makes no \
+              progress and its control state repeats for a full window \
+              of cycles, stop and classify the run as deadlocked (exit \
+              code 4) instead of burning the cycle fuel.")
+
+let deadlock_window_arg =
+  Arg.(
+    value
+    & opt int Ximd_core.Watchdog.default_window
+    & info [ "deadlock-window" ] ~docv:"N"
+        ~doc:"Quiet-cycle window the deadlock watchdog must fill before \
+              it classifies (minimum 4).")
+
+let inject_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "inject" ] ~docv:"SPEC"
+        ~doc:"Inject faults on a deterministic schedule.  $(docv) is a \
+              comma-separated list of KIND@CYCLE:TARGET events (KIND one \
+              of ss, cc, drop, dup, halt) and/or rand:SEED:COUNT[:UNTIL] \
+              pseudo-random batches.  Example: \
+              $(b,--inject ss@10:1,rand:42:5).")
+
+let postmortem_arg =
+  Arg.(
+    value
+    & opt (some (enum [ ("text", `Text); ("json", `Json) ])) None
+    & info [ "postmortem" ] ~docv:"FORMAT"
+        ~doc:"Always print a structured postmortem (per-FU state, hazard \
+              log, fired faults) after the run, as $(b,text) or \
+              $(b,json).  Without this option a text postmortem is \
+              printed only when the run deadlocks.")
+
 type simulator = Xsim | Vsim | T500
 
 let run_simulator sim path trace listing stats max_cycles record_hazards
-    reg_inits mem_inits dump_regs dump_mem =
+    detect_deadlock deadlock_window inject postmortem reg_inits mem_inits
+    dump_regs dump_mem =
   match program_of_file path with
   | Error msg ->
     Printf.eprintf "%s\n" msg;
@@ -107,8 +146,22 @@ let run_simulator sim path trace listing stats max_cycles record_hazards
     in
     if listing then
       Format.printf "%a@." Ximd_core.Program.pp_listing program;
+    let faults =
+      match inject with
+      | None -> None
+      | Some spec -> (
+        match
+          Ximd_machine.Fault.parse
+            ~n_fus:(Ximd_core.Program.n_fus program)
+            spec
+        with
+        | Ok events -> Some (Ximd_machine.Fault.create events)
+        | Error msg ->
+          Printf.eprintf "--inject: %s\n" msg;
+          exit 1)
+    in
     let state =
-      try Ximd_core.State.create ~config program
+      try Ximd_core.State.create ~config ?faults program
       with Invalid_argument msg ->
         Printf.eprintf "%s\n" msg;
         exit 1
@@ -118,12 +171,21 @@ let run_simulator sim path trace listing stats max_cycles record_hazards
       reg_inits;
     List.iter (fun (a, v) -> Ximd_core.State.mem_set state a v) mem_inits;
     let tracer = if trace then Some (Ximd_core.Tracer.create ()) else None in
+    let watchdog =
+      if detect_deadlock then (
+        if deadlock_window < 4 then begin
+          Printf.eprintf "--deadlock-window must be at least 4\n";
+          exit 1
+        end;
+        Some (Ximd_core.Watchdog.create ~window:deadlock_window ()))
+      else None
+    in
     let outcome =
       try
         match sim with
-        | Xsim -> Ximd_core.Xsim.run ?tracer state
-        | Vsim -> Ximd_core.Vsim.run ?tracer state
-        | T500 -> Ximd_core.T500.run ?tracer state
+        | Xsim -> Ximd_core.Xsim.run ?tracer ?watchdog state
+        | Vsim -> Ximd_core.Vsim.run ?tracer ?watchdog state
+        | T500 -> Ximd_core.T500.run ?tracer ?watchdog state
       with
       | Ximd_machine.Hazard.Error event ->
         Printf.eprintf "hazard: %s\n"
@@ -162,11 +224,33 @@ let run_simulator sim path trace listing stats max_cycles record_hazards
         (fun e -> Format.printf "  %a@." Ximd_machine.Hazard.pp_event e)
         hazards
     end;
-    if not (Ximd_core.Run.completed outcome) then exit 3
+    let deadlocked =
+      match outcome with Ximd_core.Run.Deadlocked _ -> true | _ -> false
+    in
+    (match postmortem with
+     | Some `Json ->
+       print_endline
+         (Ximd_report.Diagnostics.to_json
+            (Ximd_report.Diagnostics.collect state ~outcome))
+     | Some `Text ->
+       Format.printf "%a@."
+         Ximd_report.Diagnostics.pp
+         (Ximd_report.Diagnostics.collect state ~outcome)
+     | None ->
+       if deadlocked then
+         Format.printf "%a@."
+           Ximd_report.Diagnostics.pp
+           (Ximd_report.Diagnostics.collect state ~outcome));
+    (* Exit codes: 0 ok, 1 usage/invalid input, 2 hazard (Raise policy),
+       3 fuel exhausted, 4 deadlocked, 5 hazards recorded. *)
+    if deadlocked then exit 4;
+    if not (Ximd_core.Run.completed outcome) then exit 3;
+    if hazards <> [] then exit 5
 
 let simulator_term sim_term =
   Term.(
     const run_simulator
     $ sim_term $ file_arg $ trace_flag $ listing_flag $ stats_flag
-    $ max_cycles_arg $ record_hazards_flag $ reg_inits_arg $ mem_inits_arg
-    $ dump_regs_arg $ dump_mem_arg)
+    $ max_cycles_arg $ record_hazards_flag $ detect_deadlock_flag
+    $ deadlock_window_arg $ inject_arg $ postmortem_arg $ reg_inits_arg
+    $ mem_inits_arg $ dump_regs_arg $ dump_mem_arg)

@@ -17,7 +17,11 @@ let cmd =
          sequencer per functional unit, shared condition codes and \
          synchronisation signals, dynamic SSET partitioning.";
       `S Manpage.s_examples;
-      `P "xsim --trace --dump-regs r3,r4 minmax.xasm" ]
+      `P "xsim --trace --dump-regs r3,r4 minmax.xasm";
+      `P "xsim --detect-deadlock --postmortem json pairsync.xasm";
+      `P
+        "xsim --inject ss@10:1,halt@20:0 --record-hazards \
+         --detect-deadlock minmax.xasm" ]
   in
   let sim_term =
     Term.(

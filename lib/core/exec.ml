@@ -73,16 +73,39 @@ let defer (state : State.t) ~is_mem ~fu ~loc value =
   ifl.ifl_value.(k) <- value;
   ifl.ifl_len <- k + 1
 
-let stage_reg_write (state : State.t) ~fu reg value =
+let do_stage_reg_write (state : State.t) ~fu reg value =
   if state.config.result_latency = 1 then
     M.Regfile.stage_write state.regs ~fu reg value
   else defer state ~is_mem:false ~fu ~loc:(Reg.index reg) value
 
-let stage_mem_write (state : State.t) ~fu addr value =
+let do_stage_mem_write (state : State.t) ~fu addr value =
   if state.config.result_latency = 1 then
     M.Memory.stage_write state.mem ~fu ~cycle:state.cycle ~log:state.log addr
       value
   else defer state ~is_mem:true ~fu ~loc:addr value
+
+(* Fault injection hooks on the FU write ports: a dropped transfer never
+   stages; a duplicated one stages twice (surfacing as a multiple-write
+   hazard).  The common, fault-free path pays one branch on the
+   immutable [state.faults] field and nothing else. *)
+
+let stage_reg_write (state : State.t) ~fu reg value =
+  match state.faults with
+  | None -> do_stage_reg_write state ~fu reg value
+  | Some f ->
+    if not (M.Fault.drops f ~fu) then begin
+      do_stage_reg_write state ~fu reg value;
+      if M.Fault.dups f ~fu then do_stage_reg_write state ~fu reg value
+    end
+
+let stage_mem_write (state : State.t) ~fu addr value =
+  match state.faults with
+  | None -> do_stage_mem_write state ~fu addr value
+  | Some f ->
+    if not (M.Fault.drops f ~fu) then begin
+      do_stage_mem_write state ~fu addr value;
+      if M.Fault.dups f ~fu then do_stage_mem_write state ~fu addr value
+    end
 
 let push_cc (state : State.t) ~fu value =
   let s = state.scratch in
@@ -179,6 +202,14 @@ let commit_cycle (state : State.t) =
   let s = state.scratch in
   match
     flush_due state;
+    (* Progress meter for the deadlock watchdog: anything that reaches
+       the commit stage counts.  Read after [flush_due] so deferred
+       pipeline results landing this cycle are included. *)
+    state.stats.commit_ops <-
+      state.stats.commit_ops
+      + M.Regfile.staged_count state.regs
+      + M.Memory.staged_count state.mem
+      + s.cc_len;
     M.Regfile.commit state.regs ~cycle:state.cycle ~log:state.log;
     M.Memory.commit state.mem ~cycle:state.cycle ~log:state.log
   with
@@ -193,6 +224,32 @@ let commit_cycle (state : State.t) =
        must not leak into the next one *)
     s.cc_len <- 0;
     raise e
+
+(* Control-plane fault application: called by the simulators at the top
+   of each cycle (only when [state.faults] is [Some _]), so an injected
+   SS/CC flip is visible to this cycle's branch evaluation and a stuck
+   halt takes effect before fetch.  A stuck halt deliberately does NOT
+   raise the victim's SS bit to DONE the way a normal halt does — a dead
+   FU stops driving its signal, which is what wedges SS handshakes. *)
+let apply_faults (state : State.t) faults =
+  let n = State.n_fus state in
+  M.Fault.begin_cycle faults ~cycle:state.cycle ~apply:(fun kind target ->
+    if target < n then
+      match kind with
+      | M.Fault.Flip_ss ->
+        state.sss.(target) <-
+          (match state.sss.(target) with
+           | Sync.Busy -> Sync.Done
+           | Sync.Done -> Sync.Busy)
+      | M.Fault.Flip_cc ->
+        state.ccs.(target) <-
+          (match state.ccs.(target) with
+           | None | Some false -> some_true
+           | Some true -> some_false)
+      | M.Fault.Stuck_halt -> state.halted.(target) <- true
+      | M.Fault.Drop_write | M.Fault.Dup_write ->
+        (* begin_cycle arms masks for these instead of calling apply *)
+        assert false)
 
 (* Drain the datapath pipeline after the last FU halts: remaining
    results commit in issue order over the following "cycles". *)

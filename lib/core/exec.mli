@@ -28,6 +28,13 @@ val commit_cycle : State.t -> unit
     the condition-code updates buffered in [state.scratch].  Does not
     advance PCs or the cycle counter — that is the control path's job. *)
 
+val apply_faults : State.t -> Ximd_machine.Fault.t -> unit
+(** Fires the fault events due this cycle: control-plane faults (SS/CC
+    flips, stuck halts) mutate the state directly; write-port faults arm
+    the session's per-cycle drop/duplicate masks consulted by the staging
+    functions.  The simulators call this at the top of each cycle, only
+    when [state.faults] is [Some _]. *)
+
 val drain_pipeline : State.t -> unit
 (** Commits any still-in-flight pipelined results after all FUs have
     halted, advancing the cycle counter per write-back stage.  A no-op

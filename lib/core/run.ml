@@ -1,12 +1,35 @@
+(* A waiting FU in a deadlock report: where it is stuck and the branch
+   condition it spins on (an unconditional self-loop shows Always1). *)
+type waiting = { fu : int; pc : int; cond : Ximd_isa.Cond.t }
+
 type outcome =
   | Halted of { cycles : int }
   | Fuel_exhausted of { cycles : int }
+  | Deadlocked of { cycles : int; spinning : waiting list }
 
-let cycles = function Halted { cycles } | Fuel_exhausted { cycles } -> cycles
+let cycles = function
+  | Halted { cycles } | Fuel_exhausted { cycles } | Deadlocked { cycles; _ }
+    ->
+    cycles
 
-let completed = function Halted _ -> true | Fuel_exhausted _ -> false
+let completed = function
+  | Halted _ -> true
+  | Fuel_exhausted _ | Deadlocked _ -> false
+
+let spinning = function
+  | Halted _ | Fuel_exhausted _ -> []
+  | Deadlocked { spinning; _ } -> spinning
+
+let pp_waiting fmt { fu; pc; cond } =
+  Format.fprintf fmt "FU%d@@%02x: on %a" fu pc Ximd_isa.Cond.pp cond
 
 let pp fmt = function
   | Halted { cycles } -> Format.fprintf fmt "halted after %d cycles" cycles
   | Fuel_exhausted { cycles } ->
     Format.fprintf fmt "fuel exhausted after %d cycles" cycles
+  | Deadlocked { cycles; spinning } ->
+    Format.fprintf fmt "deadlocked after %d cycles (%a)" cycles
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+         pp_waiting)
+      spinning

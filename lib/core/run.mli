@@ -1,11 +1,25 @@
 (** Run outcomes shared by the XIMD and VLIW simulators. *)
 
+type waiting = { fu : int; pc : int; cond : Ximd_isa.Cond.t }
+(** One spinning functional unit in a deadlock report: where it is stuck
+    and the branch condition it re-evaluates each cycle (an
+    unconditional self-loop reports [Always1]). *)
+
 type outcome =
   | Halted of { cycles : int }
       (** every functional unit executed a halt *)
   | Fuel_exhausted of { cycles : int }
       (** the configured [max_cycles] elapsed first *)
+  | Deadlocked of { cycles : int; spinning : waiting list }
+      (** the {!Watchdog} established that no live FU can ever make
+          progress again: every one is pinned on a condition whose
+          inputs no other FU will change *)
 
 val cycles : outcome -> int
 val completed : outcome -> bool
+
+val spinning : outcome -> waiting list
+(** The spinning set of a {!Deadlocked} outcome; [[]] otherwise. *)
+
+val pp_waiting : Format.formatter -> waiting -> unit
 val pp : Format.formatter -> outcome -> unit

@@ -38,6 +38,9 @@ type t = {
   mutable partition : Partition.t;
   scratch : scratch;
   inflight : inflight;
+  faults : Ximd_machine.Fault.t option;
+      (* [None] in the common case: the simulators and [Exec] test this
+         field with a single branch and touch nothing else *)
 }
 
 (* Program.validate walks every parcel of the program.  Benchmarks and
@@ -65,10 +68,11 @@ let ensure_valid program config =
     validated_next := (!validated_next + 1) mod Array.length validated
   end
 
-let create ?(config = Config.default) program =
+let create ?(config = Config.default) ?faults program =
   ensure_valid program config;
   let n = config.n_fus in
   { config;
+    faults;
     program;
     regs = Ximd_machine.Regfile.create ();
     mem =

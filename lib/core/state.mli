@@ -59,10 +59,15 @@ type t = {
   mutable partition : Partition.t;
   scratch : scratch;
   inflight : inflight;
+  faults : Ximd_machine.Fault.t option;
+      (** fault-injection session; [None] (the default) costs the
+          simulators a single branch per cycle and nothing else *)
 }
 
-val create : ?config:Config.t -> Program.t -> t
+val create : ?config:Config.t -> ?faults:Ximd_machine.Fault.t -> Program.t -> t
 (** Fresh state at cycle 0, all PCs at address 0, single-SSET partition.
+    [faults] arms deterministic fault injection (see
+    {!Ximd_machine.Fault}); omitted, the run is fault-free.
     @raise Invalid_argument if {!Program.validate} rejects the program
     under [config]. *)
 

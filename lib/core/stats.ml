@@ -11,12 +11,15 @@ type t = {
   mutable cond_branches : int;
   mutable spin_slots : int;
   mutable max_streams : int;
+  mutable commit_ops : int;
+      (* cumulative results (register/memory writes and condition codes)
+         that reached the commit stage — the watchdog's progress meter *)
 }
 
 let create () =
   { cycles = 0; data_ops = 0; nops = 0; halted_slots = 0; int_ops = 0;
     float_ops = 0; mem_ops = 0; io_ops = 0; cmp_ops = 0; cond_branches = 0;
-    spin_slots = 0; max_streams = 0 }
+    spin_slots = 0; max_streams = 0; commit_ops = 0 }
 
 let copy t = { t with cycles = t.cycles }
 

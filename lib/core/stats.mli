@@ -19,6 +19,10 @@ type t = {
                                    conditional branch that re-selected the
                                    FU's current address *)
   mutable max_streams : int;   (** max simultaneous SSET count observed *)
+  mutable commit_ops : int;    (** cumulative results (register/memory
+                                   writes and condition codes) that
+                                   reached the commit stage — the
+                                   {!Watchdog}'s progress meter *)
 }
 
 val create : unit -> t

@@ -28,6 +28,9 @@ let step ?tracer (state : State.t) =
     (match tracer with
      | Some t -> Tracer.record t (Tracer.snapshot state)
      | None -> ());
+    (match state.faults with
+     | None -> ()
+     | Some f -> Exec.apply_faults state f);
     let n = State.n_fus state in
     let _, half = bank_bounds n in
     let leaders = [ (0, half - 1); (half, n - 1) ] in
@@ -111,7 +114,7 @@ let step ?tracer (state : State.t) =
     stats.cycles <- state.cycle
   end
 
-let run ?tracer (state : State.t) =
+let run ?tracer ?watchdog (state : State.t) =
   let n = State.n_fus state in
   if n < 2 || n mod 2 <> 0 then
     invalid_arg "T500.run: the two-sequencer model needs an even FU count";
@@ -130,7 +133,9 @@ let run ?tracer (state : State.t) =
       Run.Fuel_exhausted { cycles = state.cycle }
     else begin
       step ?tracer state;
-      loop ()
+      match watchdog with
+      | Some w when Watchdog.observe w state -> Watchdog.deadlocked state
+      | Some _ | None -> loop ()
     end
   in
   loop ()

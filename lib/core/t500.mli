@@ -22,6 +22,6 @@ val bank_consistent : Program.t -> bool
 
 val step : ?tracer:Tracer.t -> State.t -> unit
 
-val run : ?tracer:Tracer.t -> State.t -> Run.outcome
+val run : ?tracer:Tracer.t -> ?watchdog:Watchdog.t -> State.t -> Run.outcome
 (** @raise Invalid_argument if the machine has fewer than 2 or an odd
     number of FUs, or the program is not bank-consistent. *)

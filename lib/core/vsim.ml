@@ -13,6 +13,9 @@ let step ?tracer (state : State.t) =
     (match tracer with
      | Some t -> Tracer.record t (Tracer.snapshot state)
      | None -> ());
+    (match state.faults with
+     | None -> ()
+     | Some f -> Exec.apply_faults state f);
     let n = State.n_fus state in
     let stats = state.stats in
     let pc = state.pcs.(0) in
@@ -31,7 +34,9 @@ let step ?tracer (state : State.t) =
         | Control.Branch { cond; _ } -> Exec.eval_cond state ~fu:0 cond
       in
       for fu = 0 to n - 1 do
-        Exec.exec_data state ~fu row.(fu).data
+        (* an individually halted FU (a stuck-halt fault) issues
+           nothing; the global sequencer carries on without it *)
+        if not state.halted.(fu) then Exec.exec_data state ~fu row.(fu).data
       done;
       Exec.commit_cycle state;
       (match control with
@@ -51,7 +56,7 @@ let step ?tracer (state : State.t) =
     end
   end
 
-let run ?tracer (state : State.t) =
+let run ?tracer ?watchdog (state : State.t) =
   if not (Program.control_consistent state.program) then
     invalid_arg
       "Vsim.run: program is not control-consistent (VLIW programs must \
@@ -67,7 +72,9 @@ let run ?tracer (state : State.t) =
       Run.Fuel_exhausted { cycles = state.cycle }
     else begin
       step ?tracer state;
-      loop ()
+      match watchdog with
+      | Some w when Watchdog.observe w state -> Watchdog.deadlocked state
+      | Some _ | None -> loop ()
     end
   in
   loop ()

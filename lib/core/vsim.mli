@@ -12,5 +12,6 @@
     fields are ignored.  The partition is always the single full SSET. *)
 
 val step : ?tracer:Tracer.t -> State.t -> unit
-val run : ?tracer:Tracer.t -> State.t -> Run.outcome
+
+val run : ?tracer:Tracer.t -> ?watchdog:Watchdog.t -> State.t -> Run.outcome
 (** @raise Invalid_argument if the program is not control-consistent. *)

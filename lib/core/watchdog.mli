@@ -1,0 +1,49 @@
+(** Deadlock and livelock watchdog.
+
+    The SS-bit producer/consumer protocol (paper §3.3, Figure 12) makes
+    it easy to write programs that wedge: a consumer pinned on a BUSY
+    signal that will never turn DONE.  Without a watchdog such a run
+    burns its whole [max_cycles] fuel and reports [Fuel_exhausted] with
+    no diagnosis.
+
+    The watchdog observes the machine after every cycle.  Cycles with
+    zero global progress — nothing reached the commit stage, no I/O, an
+    empty result pipeline — contribute a signature hash of the
+    control-observable state (per-FU PC, CC, SS, halted) to a sliding
+    window; any progress resets it.  When the window fills with quiet
+    cycles whose signature sequence is periodic (period at most half the
+    window), determinism implies the configuration has repeated with
+    unchanged datapath state, so the machine is provably wedged and the
+    run is classified {!Run.Deadlocked} with the set of spinning FUs and
+    the conditions they wait on.
+
+    Detection latency is bounded by the window (default
+    {!default_window} quiet cycles); spin orbits with a period longer
+    than half the window fall back to fuel exhaustion.  The only
+    approximation is the signature hash itself — a false positive needs
+    a hash-chain collision across a whole window. *)
+
+type t
+
+val default_window : int
+
+val create : ?window:int -> unit -> t
+(** A fresh watchdog; all buffers are preallocated, [observe] never
+    allocates.  [window] (default {!default_window}) must be at least 4.
+    A watchdog instance tracks one run; use a fresh one (or {!reset})
+    per run. *)
+
+val reset : t -> unit
+val window : t -> int
+
+val observe : t -> State.t -> bool
+(** Call after each completed cycle; [true] means a deadlock is
+    established (the caller should stop and report
+    {!Watchdog.deadlocked}). *)
+
+val spinning : State.t -> Run.waiting list
+(** The live FUs, their PCs and the branch conditions they are
+    re-evaluating — the postmortem spinning set. *)
+
+val deadlocked : State.t -> Run.outcome
+(** [Run.Deadlocked] at the state's current cycle with {!spinning}. *)

@@ -18,6 +18,9 @@ let step ?tracer (state : State.t) =
     (match tracer with
      | Some t -> Tracer.record t (Tracer.snapshot state)
      | None -> ());
+    (match state.faults with
+     | None -> ()
+     | Some f -> Exec.apply_faults state f);
     let n = State.n_fus state in
     let stats = state.stats in
     let s = state.scratch in
@@ -103,7 +106,7 @@ let step ?tracer (state : State.t) =
     stats.cycles <- state.cycle
   end
 
-let run ?tracer (state : State.t) =
+let run ?tracer ?watchdog (state : State.t) =
   let fuel = state.config.max_cycles in
   let rec loop () =
     if State.all_halted state then begin
@@ -115,7 +118,9 @@ let run ?tracer (state : State.t) =
       Run.Fuel_exhausted { cycles = state.cycle }
     else begin
       step ?tracer state;
-      loop ()
+      match watchdog with
+      | Some w when Watchdog.observe w state -> Watchdog.deadlocked state
+      | Some _ | None -> loop ()
     end
   in
   loop ()

@@ -20,5 +20,6 @@ val step : ?tracer:Tracer.t -> State.t -> unit
 (** Executes one cycle (a no-op if all FUs have halted).  When [tracer]
     is given, the start-of-cycle state is recorded first. *)
 
-val run : ?tracer:Tracer.t -> State.t -> Run.outcome
-(** Steps until all FUs halt or the configured fuel runs out. *)
+val run : ?tracer:Tracer.t -> ?watchdog:Watchdog.t -> State.t -> Run.outcome
+(** Steps until all FUs halt, the configured fuel runs out, or (when
+    [watchdog] is given) a deadlock is established — see {!Watchdog}. *)

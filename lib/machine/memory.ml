@@ -144,6 +144,8 @@ let commit t ~cycle ~log =
     end
   done
 
+let staged_count t = t.st_len
+
 let check_bounds t addr what =
   if addr < 0 || addr >= t.words then
     invalid_arg (Printf.sprintf "Memory.%s: address %d out of bounds" what addr)

@@ -41,6 +41,9 @@ val stage_write :
 
 val commit : t -> cycle:int -> log:Hazard.log -> unit
 
+val staged_count : t -> int
+(** Number of stores currently staged (and not yet committed). *)
+
 val set : t -> int -> Value.t -> unit
 (** Direct write for initialisation; bounds-checked, raises
     [Invalid_argument]. *)

@@ -219,7 +219,7 @@ let a5_exposed_pipeline fmt =
               latency latency got
               (if got = 63 then "correct" else "WRONG")
               cycles compiled.static_rows
-          | Ximd_core.Run.Fuel_exhausted _ ->
+          | Ximd_core.Run.Fuel_exhausted _ | Ximd_core.Run.Deadlocked _ ->
             Format.fprintf fmt "  latency %d: hung@," latency)))
     [ 1; 2; 3 ]
 
@@ -258,7 +258,8 @@ let a6_pipelined_codegen fmt =
           List.iter (fun (a, v) -> Ximd_core.State.mem_set state a v) mem;
           match Ximd_core.Xsim.run state with
           | Ximd_core.Run.Halted { cycles } -> Some cycles
-          | Ximd_core.Run.Fuel_exhausted _ -> None
+          | Ximd_core.Run.Fuel_exhausted _ | Ximd_core.Run.Deadlocked _ ->
+            None
         in
         let pipelined =
           run_prog k.program k.trip_reg (fun _ -> ())

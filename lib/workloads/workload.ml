@@ -17,21 +17,23 @@ type t = {
   vliw : variant option;
 }
 
-let run ?tracer variant =
+let run ?tracer ?watchdog variant =
   let state = State.create ~config:variant.config variant.program in
   variant.setup state;
   let outcome =
     match variant.sim with
-    | Ximd -> Xsim.run ?tracer state
-    | Vliw -> Vsim.run ?tracer state
+    | Ximd -> Xsim.run ?tracer ?watchdog state
+    | Vliw -> Vsim.run ?tracer ?watchdog state
   in
   (outcome, state)
 
-let run_checked ?tracer variant =
-  let outcome, state = run ?tracer variant in
+let run_checked ?tracer ?watchdog variant =
+  let outcome, state = run ?tracer ?watchdog variant in
   match outcome with
   | Run.Fuel_exhausted { cycles } ->
     Error (Printf.sprintf "fuel exhausted after %d cycles" cycles)
+  | Run.Deadlocked { cycles; _ } ->
+    Error (Printf.sprintf "deadlocked after %d cycles" cycles)
   | Run.Halted _ -> (
     match variant.check state with
     | Ok () -> Ok (outcome, state)

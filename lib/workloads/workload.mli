@@ -25,13 +25,20 @@ type t = {
   vliw : variant option;
 }
 
-val run : ?tracer:Tracer.t -> variant -> Run.outcome * State.t
+val run :
+  ?tracer:Tracer.t -> ?watchdog:Watchdog.t -> variant -> Run.outcome * State.t
 (** Creates a state, applies [setup], and runs the variant on its
-    simulator. *)
+    simulator.  When [watchdog] is given, wedged runs classify as
+    {!Run.Deadlocked} instead of burning their fuel. *)
 
-val run_checked : ?tracer:Tracer.t -> variant -> (Run.outcome * State.t, string) result
-(** Like {!run}, but requires the run to halt within fuel and the check
-    to pass. *)
+val run_checked :
+  ?tracer:Tracer.t ->
+  ?watchdog:Watchdog.t ->
+  variant ->
+  (Run.outcome * State.t, string) result
+(** Like {!run}, but requires the run to halt within fuel — fuel
+    exhaustion and deadlock both report [Error] — and the check to
+    pass. *)
 
 val speedup : t -> (float * int * int, string) result
 (** [(vliw_cycles / ximd_cycles, ximd_cycles, vliw_cycles)] with both

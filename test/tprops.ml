@@ -228,7 +228,8 @@ let prop_xsim_equals_vsim =
         match sim state with
         | Ximd_core.Run.Halted { cycles } ->
           Some (cycles, Ximd_machine.Regfile.dump state.regs)
-        | Ximd_core.Run.Fuel_exhausted _ -> None
+        | Ximd_core.Run.Fuel_exhausted _ | Ximd_core.Run.Deadlocked _ ->
+          None
       in
       match
         (run (fun s -> Ximd_core.Xsim.run s),
@@ -444,7 +445,8 @@ let prop_compile_matches_interp =
             compiled.param_regs args;
           List.iter (fun (a, v) -> Ximd_core.State.mem_set state a v) mem;
           match Ximd_core.Vsim.run state with
-          | Ximd_core.Run.Fuel_exhausted _ -> false
+          | Ximd_core.Run.Fuel_exhausted _ | Ximd_core.Run.Deadlocked _ ->
+            false
           | Ximd_core.Run.Halted _ ->
             let results_match =
               List.for_all2
@@ -524,7 +526,8 @@ let prop_kernelgen_matches_rolled =
             | None -> ())
           inputs;
         match Ximd_core.Xsim.run state with
-        | Ximd_core.Run.Fuel_exhausted _ -> false
+        | Ximd_core.Run.Fuel_exhausted _ | Ximd_core.Run.Deadlocked _ ->
+          false
         | Ximd_core.Run.Halted _ -> (
           let trip_vreg = 99 in
           let func =

@@ -87,7 +87,8 @@ let test_two_processes_run () =
   setup state regs;
   (match Ximd_core.T500.run state with
    | Ximd_core.Run.Halted _ -> ()
-   | Ximd_core.Run.Fuel_exhausted _ -> Alcotest.fail "hung");
+   | Ximd_core.Run.Fuel_exhausted _ | Ximd_core.Run.Deadlocked _ ->
+     Alcotest.fail "hung");
   let _, na, sb, _ = regs in
   ignore na;
   (* sb doubled 7 times: 128. *)
@@ -105,7 +106,8 @@ let test_same_cycles_as_xsim () =
     setup state regs;
     match sim state with
     | Ximd_core.Run.Halted { cycles } -> cycles
-    | Ximd_core.Run.Fuel_exhausted _ -> Alcotest.fail "hung"
+    | Ximd_core.Run.Fuel_exhausted _ | Ximd_core.Run.Deadlocked _ ->
+      Alcotest.fail "hung"
   in
   Alcotest.(check int) "cycles equal"
     (run (fun s -> Ximd_core.Xsim.run s))
@@ -137,7 +139,8 @@ let test_lockstep_vliw_programs_ok () =
   workload.ximd.setup state;
   (match Ximd_core.T500.run state with
    | Ximd_core.Run.Halted _ -> ()
-   | Ximd_core.Run.Fuel_exhausted _ -> Alcotest.fail "hung");
+   | Ximd_core.Run.Fuel_exhausted _ | Ximd_core.Run.Deadlocked _ ->
+     Alcotest.fail "hung");
   match workload.ximd.check state with
   | Ok () -> ()
   | Error msg -> Alcotest.fail msg
