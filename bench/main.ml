@@ -30,8 +30,8 @@ let quota_seconds () =
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 
-let run_variant variant =
-  match W.Workload.run variant with
+let run_variant ?obs variant =
+  match W.Workload.run ?obs variant with
   | Ximd_core.Run.Halted _, state -> state.Ximd_core.State.cycle
   | Ximd_core.Run.Fuel_exhausted _, _ | Ximd_core.Run.Deadlocked _, _ ->
     failwith "bench workload hung"
@@ -59,6 +59,41 @@ let workload_tests ?(filter = []) () =
             (Staged.stage (fun () -> ignore (run_variant vliw))) ]
   in
   List.concat_map per_workload (selected_workloads filter)
+
+(* Observability overhead: minmax/xsim with a full sink attached (event
+   ring + metrics + hot-PC profile) and with a metrics-only sink.  One
+   sink is allocated up front and [Sink.reset] between runs, so the
+   64Ki ring allocation is not on the timed path — the numbers isolate
+   the per-cycle emission cost.  Budget: xsim+obs ≤ 2× plain xsim. *)
+let obs_tests ?(filter = []) () =
+  let open Bechamel in
+  if filter <> [] && not (List.mem "minmax" filter) then []
+  else begin
+    (* Same variant the plain minmax/xsim entry runs, so the two rows
+       differ only in whether a sink is attached. *)
+    let v =
+      match
+        List.find_opt (fun (w : W.Workload.t) -> w.name = "minmax")
+          (W.Suite.all ())
+      with
+      | Some w -> w.ximd
+      | None -> failwith "obs bench: minmax workload missing"
+    in
+    let code_len = Ximd_core.Program.length v.program in
+    let sink = Ximd_obs.Sink.create ~n_fus:v.config.n_fus ~code_len () in
+    let lean =
+      Ximd_obs.Sink.create ~trace:false ~profile:false ~n_fus:v.config.n_fus
+        ~code_len ()
+    in
+    [ Test.make ~name:"minmax/xsim+obs"
+        (Staged.stage (fun () ->
+           Ximd_obs.Sink.reset sink;
+           ignore (run_variant ~obs:sink v)));
+      Test.make ~name:"minmax/xsim+obs-lean"
+        (Staged.stage (fun () ->
+           Ximd_obs.Sink.reset lean;
+           ignore (run_variant ~obs:lean v))) ]
+  end
 
 let infra_tests () =
   let open Bechamel in
@@ -134,6 +169,7 @@ let run_micro ?(filter = []) () =
                  ===\n\n%!";
   let tests =
     workload_tests ~filter ()
+    @ obs_tests ~filter ()
     @ (if filter = [] then infra_tests () else [])
   in
   List.iter

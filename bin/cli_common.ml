@@ -115,6 +115,44 @@ let inject_arg =
               pseudo-random batches.  Example: \
               $(b,--inject ss@10:1,rand:42:5).")
 
+let trace_events_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-events" ] ~docv:"FILE"
+        ~doc:"Write the run's event timeline as Chrome trace_event JSON \
+              to $(docv) ($(b,-) for stdout): one track per functional \
+              unit (fetch runs, CC broadcasts, SS transitions, barrier \
+              enter/exit, halts), one track per SSET stream, and a \
+              live-stream counter.  Load the file in Perfetto \
+              (ui.perfetto.dev) or chrome://tracing; one cycle = 1 us.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Write run metrics (counters, gauges, log-bucketed \
+              histograms, barrier-wait attribution) as JSON to $(docv) \
+              ($(b,-) for stdout).")
+
+let profile_flag =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:"Print a flat hot-PC profile after the run: samples per \
+              instruction address, hottest first, with per-FU split and \
+              source labels.")
+
+let timeline_flag =
+  Arg.(
+    value & flag
+    & info [ "timeline" ]
+        ~doc:"Print the SSET timeline after the run: one line per \
+              fork/join interval of lockstep FU groups, plus the \
+              observability summary (per-FU utilisation, spin streaks, \
+              barrier waits).")
+
 let postmortem_arg =
   Arg.(
     value
@@ -127,9 +165,18 @@ let postmortem_arg =
 
 type simulator = Xsim | Vsim | T500
 
+(* Writes [contents] to [path], "-" meaning stdout. *)
+let write_output path contents =
+  if path = "-" then print_string contents
+  else begin
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc
+  end
+
 let run_simulator sim path trace listing stats max_cycles record_hazards
-    detect_deadlock deadlock_window inject postmortem reg_inits mem_inits
-    dump_regs dump_mem =
+    detect_deadlock deadlock_window inject postmortem trace_events
+    metrics_file profile timeline reg_inits mem_inits dump_regs dump_mem =
   match program_of_file path with
   | Error msg ->
     Printf.eprintf "%s\n" msg;
@@ -160,8 +207,19 @@ let run_simulator sim path trace listing stats max_cycles record_hazards
           Printf.eprintf "--inject: %s\n" msg;
           exit 1)
     in
+    let obs =
+      if trace_events <> None || metrics_file <> None || profile || timeline
+      then
+        Some
+          (Ximd_obs.Sink.create
+             ~trace:(trace_events <> None)
+             ~n_fus:(Ximd_core.Program.n_fus program)
+             ~code_len:(Ximd_core.Program.length program)
+             ())
+      else None
+    in
     let state =
-      try Ximd_core.State.create ~config ?faults program
+      try Ximd_core.State.create ~config ?faults ?obs program
       with Invalid_argument msg ->
         Printf.eprintf "%s\n" msg;
         exit 1
@@ -217,6 +275,53 @@ let run_simulator sim path trace listing stats max_cycles record_hazards
            (Ximd_core.State.mem_get state a)
        done);
     if stats then Format.printf "%a@." Ximd_core.Stats.pp state.stats;
+    (match obs with
+     | None -> ()
+     | Some sink ->
+       let pc_label pc = Ximd_core.Program.label_at program pc in
+       (match trace_events with
+        | None -> ()
+        | Some path ->
+          write_output path (Ximd_obs.Chrome.to_string ~pc_label sink));
+       (match metrics_file with
+        | None -> ()
+        | Some path ->
+          write_output path (Ximd_obs.Sink.metrics_json sink ^ "\n"));
+       if profile then begin
+         match Ximd_obs.Sink.profile sink with
+         | None -> ()
+         | Some prof ->
+           let describe pc =
+             let label =
+               match pc_label pc with Some l -> l ^ ":" | None -> ""
+             in
+             if pc < 0 || pc >= Ximd_core.Program.length program then label
+             else begin
+               let row = Ximd_core.Program.row program pc in
+               let ops =
+                 Array.to_list row
+                 |> List.filter_map (fun (p : Ximd_isa.Parcel.t) ->
+                      if Ximd_isa.Parcel.is_nop p.data then None
+                      else
+                        Some
+                          (Format.asprintf "%a" Ximd_isa.Parcel.pp_data
+                             p.data))
+               in
+               match ops with
+               | [] -> label
+               | _ ->
+                 (if label = "" then "" else label ^ " ")
+                 ^ String.concat "; " ops
+             end
+           in
+           Format.printf "%a@." (Ximd_obs.Profile.pp ~describe) prof
+       end;
+       if timeline then begin
+         Format.printf "SSET timeline (cycle range, members):@.%a@."
+           Ximd_obs.Timeline.pp
+           (Ximd_obs.Sink.timeline sink);
+         Format.printf "%a@." Ximd_obs.Sink.pp_summary sink
+       end);
     let hazards = Ximd_core.State.hazards state in
     if hazards <> [] then begin
       Format.printf "%d hazards recorded:@." (List.length hazards);
@@ -241,16 +346,23 @@ let run_simulator sim path trace listing stats max_cycles record_hazards
          Format.printf "%a@."
            Ximd_report.Diagnostics.pp
            (Ximd_report.Diagnostics.collect state ~outcome));
-    (* Exit codes: 0 ok, 1 usage/invalid input, 2 hazard (Raise policy),
-       3 fuel exhausted, 4 deadlocked, 5 hazards recorded. *)
-    if deadlocked then exit 4;
-    if not (Ximd_core.Run.completed outcome) then exit 3;
+    (* The canonical table lives in {!Ximd_core.Run.exit_codes}; --help's
+       EXIT STATUS section and the README document the same values. *)
+    (match Ximd_core.Run.exit_code outcome with
+     | 0 -> ()
+     | code -> exit code);
     if hazards <> [] then exit 5
+
+let exits =
+  List.map
+    (fun (code, doc) -> Cmd.Exit.info code ~doc)
+    Ximd_core.Run.exit_codes
 
 let simulator_term sim_term =
   Term.(
     const run_simulator
     $ sim_term $ file_arg $ trace_flag $ listing_flag $ stats_flag
     $ max_cycles_arg $ record_hazards_flag $ detect_deadlock_flag
-    $ deadlock_window_arg $ inject_arg $ postmortem_arg $ reg_inits_arg
+    $ deadlock_window_arg $ inject_arg $ postmortem_arg $ trace_events_arg
+    $ metrics_arg $ profile_flag $ timeline_flag $ reg_inits_arg
     $ mem_inits_arg $ dump_regs_arg $ dump_mem_arg)

@@ -13,7 +13,7 @@ let cmd =
          same control fields)." ]
   in
   Cmd.v
-    (Cmd.info "vsim" ~doc ~man)
+    (Cmd.info "vsim" ~doc ~man ~exits:Cli_common.exits)
     (Cli_common.simulator_term (Term.const Cli_common.Vsim))
 
 let () = exit (Cmd.eval cmd)

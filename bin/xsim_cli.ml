@@ -21,13 +21,17 @@ let cmd =
       `P "xsim --detect-deadlock --postmortem json pairsync.xasm";
       `P
         "xsim --inject ss@10:1,halt@20:0 --record-hazards \
-         --detect-deadlock minmax.xasm" ]
+         --detect-deadlock minmax.xasm";
+      `P "xsim --trace-events trace.json --metrics - minmax.xasm";
+      `P "xsim --profile --timeline pairsync.xasm" ]
   in
   let sim_term =
     Term.(
       const (fun t500 -> if t500 then Cli_common.T500 else Cli_common.Xsim)
       $ t500_flag)
   in
-  Cmd.v (Cmd.info "xsim" ~doc ~man) (Cli_common.simulator_term sim_term)
+  Cmd.v
+    (Cmd.info "xsim" ~doc ~man ~exits:Cli_common.exits)
+    (Cli_common.simulator_term sim_term)
 
 let () = exit (Cmd.eval cmd)

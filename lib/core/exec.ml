@@ -115,7 +115,12 @@ let push_cc (state : State.t) ~fu value =
 
 let exec_data (state : State.t) ~fu (data : Parcel.data) =
   let stats = state.stats in
-  if not (Parcel.is_nop data) then stats.data_ops <- stats.data_ops + 1;
+  if not (Parcel.is_nop data) then begin
+    stats.data_ops <- stats.data_ops + 1;
+    match state.obs with
+    | None -> ()
+    | Some obs -> Ximd_obs.Sink.on_data_op obs ~fu
+  end;
   match data with
   | Parcel.Dnop -> stats.nops <- stats.nops + 1
   | Parcel.Dbin { op; a; b; d } ->
@@ -205,15 +210,26 @@ let commit_cycle (state : State.t) =
     (* Progress meter for the deadlock watchdog: anything that reaches
        the commit stage counts.  Read after [flush_due] so deferred
        pipeline results landing this cycle are included. *)
-    state.stats.commit_ops <-
-      state.stats.commit_ops
-      + M.Regfile.staged_count state.regs
+    let committed =
+      M.Regfile.staged_count state.regs
       + M.Memory.staged_count state.mem
-      + s.cc_len;
+      + s.cc_len
+    in
+    state.stats.commit_ops <- state.stats.commit_ops + committed;
     M.Regfile.commit state.regs ~cycle:state.cycle ~log:state.log;
-    M.Memory.commit state.mem ~cycle:state.cycle ~log:state.log
+    M.Memory.commit state.mem ~cycle:state.cycle ~log:state.log;
+    committed
   with
-  | () ->
+  | committed ->
+    (match state.obs with
+     | None -> ()
+     | Some obs ->
+       if committed > 0 then
+         Ximd_obs.Sink.on_commit obs ~cycle:state.cycle ~results:committed;
+       for k = 0 to s.cc_len - 1 do
+         Ximd_obs.Sink.on_cc obs ~cycle:state.cycle ~fu:s.cc_fu.(k)
+           ~value:s.cc_val.(k)
+       done);
     for k = 0 to s.cc_len - 1 do
       state.ccs.(s.cc_fu.(k)) <-
         (if s.cc_val.(k) then some_true else some_false)
@@ -233,6 +249,9 @@ let commit_cycle (state : State.t) =
    FU stops driving its signal, which is what wedges SS handshakes. *)
 let apply_faults (state : State.t) faults =
   let n = State.n_fus state in
+  let before =
+    match state.obs with None -> 0 | Some _ -> M.Fault.remaining faults
+  in
   M.Fault.begin_cycle faults ~cycle:state.cycle ~apply:(fun kind target ->
     if target < n then
       match kind with
@@ -249,7 +268,22 @@ let apply_faults (state : State.t) faults =
       | M.Fault.Stuck_halt -> state.halted.(target) <- true
       | M.Fault.Drop_write | M.Fault.Dup_write ->
         (* begin_cycle arms masks for these instead of calling apply *)
-        assert false)
+        assert false);
+  match state.obs with
+  | None -> ()
+  | Some obs ->
+    (* Diff the schedule rather than hooking [apply]: drop/dup events arm
+       masks without an apply call, and this way every kind is reported. *)
+    let rec emit k events =
+      if k > 0 then
+        match events with
+        | [] -> ()
+        | (e : M.Fault.event) :: rest ->
+          Ximd_obs.Sink.on_fault obs ~cycle:state.cycle
+            ~kind:(M.Fault.kind_name e.kind) ~target:e.target;
+          emit (k - 1) rest
+    in
+    emit (before - M.Fault.remaining faults) (M.Fault.fired_rev faults)
 
 (* Drain the datapath pipeline after the last FU halts: remaining
    results commit in issue order over the following "cycles". *)

@@ -20,6 +20,23 @@ let spinning = function
   | Halted _ | Fuel_exhausted _ -> []
   | Deadlocked { spinning; _ } -> spinning
 
+(* The one table the CLIs (--help EXIT STATUS), the README and the
+   smoke tests all derive from; keep the wording in sync with all
+   three.  [exit_code] maps an outcome to its CLI exit code under the
+   default Raise hazard policy. *)
+let exit_codes =
+  [ (0, "ok");
+    (1, "bad input");
+    (2, "hazard (default Raise policy)");
+    (3, "fuel exhausted");
+    (4, "deadlocked");
+    (5, "hazards recorded (--record-hazards)") ]
+
+let exit_code = function
+  | Halted _ -> 0
+  | Fuel_exhausted _ -> 3
+  | Deadlocked _ -> 4
+
 let pp_waiting fmt { fu; pc; cond } =
   Format.fprintf fmt "FU%d@@%02x: on %a" fu pc Ximd_isa.Cond.pp cond
 

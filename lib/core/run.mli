@@ -21,5 +21,16 @@ val completed : outcome -> bool
 val spinning : outcome -> waiting list
 (** The spinning set of a {!Deadlocked} outcome; [[]] otherwise. *)
 
+val exit_codes : (int * string) list
+(** The canonical CLI exit-code table — [(code, meaning)] pairs, sorted
+    by code.  The simulator CLIs derive their [--help] EXIT STATUS
+    sections from this list and the README documents the same table; a
+    smoke test asserts all three agree. *)
+
+val exit_code : outcome -> int
+(** The exit code a simulator CLI reports for this outcome: 0 halted,
+    3 fuel exhausted, 4 deadlocked.  (Codes 1, 2 and 5 arise from input
+    validation, hazards and [--record-hazards], not from the outcome.) *)
+
 val pp_waiting : Format.formatter -> waiting -> unit
 val pp : Format.formatter -> outcome -> unit

@@ -41,6 +41,8 @@ type t = {
   faults : Ximd_machine.Fault.t option;
       (* [None] in the common case: the simulators and [Exec] test this
          field with a single branch and touch nothing else *)
+  obs : Ximd_obs.Sink.t option;
+      (* observability sink, same single-branch discipline as [faults] *)
 }
 
 (* Program.validate walks every parcel of the program.  Benchmarks and
@@ -68,11 +70,16 @@ let ensure_valid program config =
     validated_next := (!validated_next + 1) mod Array.length validated
   end
 
-let create ?(config = Config.default) ?faults program =
+let create ?(config = Config.default) ?faults ?obs program =
   ensure_valid program config;
   let n = config.n_fus in
+  (match obs with
+   | Some sink when Ximd_obs.Sink.n_fus sink <> config.n_fus ->
+     invalid_arg "State.create: obs sink built for a different FU count"
+   | Some _ | None -> ());
   { config;
     faults;
+    obs;
     program;
     regs = Ximd_machine.Regfile.create ();
     mem =

@@ -62,14 +62,26 @@ type t = {
   faults : Ximd_machine.Fault.t option;
       (** fault-injection session; [None] (the default) costs the
           simulators a single branch per cycle and nothing else *)
+  obs : Ximd_obs.Sink.t option;
+      (** observability sink (see {!Ximd_obs.Sink}); [None] (the
+          default) costs the simulators a single predictable branch per
+          emission site and nothing else — the same discipline as
+          [faults] *)
 }
 
-val create : ?config:Config.t -> ?faults:Ximd_machine.Fault.t -> Program.t -> t
+val create :
+  ?config:Config.t ->
+  ?faults:Ximd_machine.Fault.t ->
+  ?obs:Ximd_obs.Sink.t ->
+  Program.t ->
+  t
 (** Fresh state at cycle 0, all PCs at address 0, single-SSET partition.
     [faults] arms deterministic fault injection (see
-    {!Ximd_machine.Fault}); omitted, the run is fault-free.
+    {!Ximd_machine.Fault}); omitted, the run is fault-free.  [obs]
+    attaches an observability sink the simulators feed events and
+    metrics into; omitted, the run is unobserved and pays nothing.
     @raise Invalid_argument if {!Program.validate} rejects the program
-    under [config]. *)
+    under [config], or if [obs] was built for a different FU count. *)
 
 val n_fus : t -> int
 val all_halted : t -> bool

@@ -27,6 +27,11 @@ let utilisation t ~n_fus =
   if t.cycles = 0 then 0.
   else float_of_int t.data_ops /. float_of_int (t.cycles * n_fus)
 
+let effective_utilisation t ~n_fus =
+  let slots = (t.cycles * n_fus) - t.spin_slots in
+  if slots <= 0 then 0.
+  else float_of_int t.data_ops /. float_of_int slots
+
 let ops_per_second ops ~cycle_ns cycles =
   if cycles = 0 then 0.
   else float_of_int ops /. (float_of_int cycles *. cycle_ns *. 1e-9)

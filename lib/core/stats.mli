@@ -29,10 +29,22 @@ val create : unit -> t
 val copy : t -> t
 
 val utilisation : t -> n_fus:int -> float
-(** Fraction of FU-cycle slots that performed a (non-nop) data
-    operation.  Spin slots are tracked separately in [spin_slots]; a
-    busy-wait cycle usually executes a nop data op and so already counts
-    against utilisation. *)
+(** Raw fraction of FU-cycle slots that performed a (non-nop) data
+    operation, [data_ops / (cycles * n_fus)].  A busy-waiting FU
+    executes nop data ops while it spins, so this measure charges
+    synchronisation stalls against the machine even though no useful
+    work was schedulable in those slots — which understates how well
+    the compiler filled the slots it actually controlled.  Use
+    {!effective_utilisation} when comparing schedule quality. *)
+
+val effective_utilisation : t -> n_fus:int -> float
+(** Fraction of {e non-spinning} FU-cycle slots that performed a
+    (non-nop) data operation, [data_ops / (cycles * n_fus - spin_slots)].
+    Busy-wait slots (a conditional branch re-selecting the FU's current
+    address — barrier waits and idle-loop spins) are excluded from the
+    denominator, so this measures how densely the compiler packed the
+    slots where the FU was actually free to issue work.  Equals
+    {!utilisation} for spin-free runs; 0. when every slot was a spin. *)
 
 val mips : t -> cycle_ns:float -> float
 (** Achieved MIPS: data operations per second of simulated time at the

@@ -28,6 +28,11 @@ let step ?tracer (state : State.t) =
     (match tracer with
      | Some t -> Tracer.record t (Tracer.snapshot state)
      | None -> ());
+    (match state.obs with
+     | None -> ()
+     | Some obs ->
+       Ximd_obs.Sink.on_partition obs ~cycle:state.cycle
+         ~ssets:(Partition.ssets state.partition));
     (match state.faults with
      | None -> ()
      | Some f -> Exec.apply_faults state f);
@@ -53,6 +58,10 @@ let step ?tracer (state : State.t) =
                 Exec.eval_cond state ~fu:leader cond
             in
             for fu = leader to last do
+              (match state.obs with
+               | None -> ()
+               | Some obs ->
+                 Ximd_obs.Sink.on_fetch obs ~cycle:state.cycle ~fu ~pc);
               match Program.fetch state.program ~fu ~addr:pc with
               | Some parcel -> Exec.exec_data state ~fu parcel.data
               | None -> ()
@@ -64,12 +73,25 @@ let step ?tracer (state : State.t) =
                  stats.cond_branches <- stats.cond_branches + 1;
                (match Control.resolve control ~pc ~taken with
                 | Some next ->
-                  if next = pc && not (Cond.is_unconditional cond) then
-                    stats.spin_slots <- stats.spin_slots + 1;
+                  let spinning =
+                    next = pc && not (Cond.is_unconditional cond)
+                  in
+                  if spinning then stats.spin_slots <- stats.spin_slots + 1;
+                  (match state.obs with
+                   | None -> ()
+                   | Some obs ->
+                     Ximd_obs.Sink.on_control obs ~cycle:state.cycle
+                       ~fu:leader ~pc ~spinning ~sync:(Cond.is_sync cond));
                   bank_next := (leader, last, Some next) :: !bank_next
                 | None -> assert false));
             (* Sync signals: every member drives its parcel's value. *)
             for fu = leader to last do
+              (match state.obs with
+               | None -> ()
+               | Some obs ->
+                 if not (Sync.equal state.sss.(fu) control_parcel.sync) then
+                   Ximd_obs.Sink.on_ss obs ~cycle:state.cycle ~fu
+                     ~to_done:(Sync.equal control_parcel.sync Sync.Done));
               state.sss.(fu) <- control_parcel.sync
             done
         end
@@ -85,6 +107,12 @@ let step ?tracer (state : State.t) =
           done
         | None ->
           for fu = leader to last do
+            (match state.obs with
+             | None -> ()
+             | Some obs ->
+               if not (Sync.equal state.sss.(fu) Sync.Done) then
+                 Ximd_obs.Sink.on_ss obs ~cycle:state.cycle ~fu ~to_done:true;
+               Ximd_obs.Sink.on_halt obs ~cycle:state.cycle ~fu);
             state.halted.(fu) <- true;
             state.sss.(fu) <- Sync.Done
           done)
@@ -110,6 +138,10 @@ let step ?tracer (state : State.t) =
       Partition.count_live state.partition ~halted:state.halted
     in
     if live_streams > stats.max_streams then stats.max_streams <- live_streams;
+    (match state.obs with
+     | None -> ()
+     | Some obs ->
+       Ximd_obs.Sink.on_cycle_end obs ~cycle:state.cycle ~live_streams);
     state.cycle <- state.cycle + 1;
     stats.cycles <- state.cycle
   end
@@ -134,8 +166,18 @@ let run ?tracer ?watchdog (state : State.t) =
     else begin
       step ?tracer state;
       match watchdog with
-      | Some w when Watchdog.observe w state -> Watchdog.deadlocked state
+      | Some w when Watchdog.observe w state ->
+        (match state.obs with
+         | None -> ()
+         | Some obs ->
+           Ximd_obs.Sink.on_watchdog obs ~cycle:state.cycle
+             ~quiet:(Watchdog.window w));
+        Watchdog.deadlocked state
       | Some _ | None -> loop ()
     end
   in
-  loop ()
+  let outcome = loop () in
+  (match state.obs with
+   | None -> ()
+   | Some obs -> Ximd_obs.Sink.finish obs ~cycle:state.cycle);
+  outcome

@@ -5,6 +5,13 @@ module M = Ximd_machine
    all of them; State.create starts everything live and in one SSET. *)
 
 let halt_all (state : State.t) =
+  (match state.obs with
+   | None -> ()
+   | Some obs ->
+     for fu = 0 to State.n_fus state - 1 do
+       if not state.halted.(fu) then
+         Ximd_obs.Sink.on_halt obs ~cycle:state.cycle ~fu
+     done);
   Array.fill state.halted 0 (State.n_fus state) true
 
 let step ?tracer (state : State.t) =
@@ -13,6 +20,11 @@ let step ?tracer (state : State.t) =
     (match tracer with
      | Some t -> Tracer.record t (Tracer.snapshot state)
      | None -> ());
+    (match state.obs with
+     | None -> ()
+     | Some obs ->
+       Ximd_obs.Sink.on_partition obs ~cycle:state.cycle
+         ~ssets:(Partition.ssets state.partition));
     (match state.faults with
      | None -> ()
      | Some f -> Exec.apply_faults state f);
@@ -36,7 +48,12 @@ let step ?tracer (state : State.t) =
       for fu = 0 to n - 1 do
         (* an individually halted FU (a stuck-halt fault) issues
            nothing; the global sequencer carries on without it *)
-        if not state.halted.(fu) then Exec.exec_data state ~fu row.(fu).data
+        if not state.halted.(fu) then begin
+          (match state.obs with
+           | None -> ()
+           | Some obs -> Ximd_obs.Sink.on_fetch obs ~cycle:state.cycle ~fu ~pc);
+          Exec.exec_data state ~fu row.(fu).data
+        end
       done;
       Exec.commit_cycle state;
       (match control with
@@ -46,11 +63,21 @@ let step ?tracer (state : State.t) =
            stats.cond_branches <- stats.cond_branches + 1;
          (match Control.resolve control ~pc ~taken with
           | Some next ->
-            if next = pc && not (Cond.is_unconditional cond) then
-              stats.spin_slots <- stats.spin_slots + 1;
-            Array.fill state.pcs 0 n next
+            let spinning = next = pc && not (Cond.is_unconditional cond) in
+            if spinning then stats.spin_slots <- stats.spin_slots + 1;
+            Array.fill state.pcs 0 n next;
+            (match state.obs with
+             | None -> ()
+             | Some obs ->
+               Ximd_obs.Sink.on_control obs ~cycle:state.cycle ~fu:0 ~pc
+                 ~spinning ~sync:(Cond.is_sync cond))
           | None -> assert false));
       if stats.max_streams < 1 then stats.max_streams <- 1;
+      (match state.obs with
+       | None -> ()
+       | Some obs ->
+         Ximd_obs.Sink.on_cycle_end obs ~cycle:state.cycle
+           ~live_streams:(if State.all_halted state then 0 else 1));
       state.cycle <- state.cycle + 1;
       stats.cycles <- state.cycle
     end
@@ -73,8 +100,18 @@ let run ?tracer ?watchdog (state : State.t) =
     else begin
       step ?tracer state;
       match watchdog with
-      | Some w when Watchdog.observe w state -> Watchdog.deadlocked state
+      | Some w when Watchdog.observe w state ->
+        (match state.obs with
+         | None -> ()
+         | Some obs ->
+           Ximd_obs.Sink.on_watchdog obs ~cycle:state.cycle
+             ~quiet:(Watchdog.window w));
+        Watchdog.deadlocked state
       | Some _ | None -> loop ()
     end
   in
-  loop ()
+  let outcome = loop () in
+  (match state.obs with
+   | None -> ()
+   | Some obs -> Ximd_obs.Sink.finish obs ~cycle:state.cycle);
+  outcome

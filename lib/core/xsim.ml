@@ -18,6 +18,13 @@ let step ?tracer (state : State.t) =
     (match tracer with
      | Some t -> Tracer.record t (Tracer.snapshot state)
      | None -> ());
+    (match state.obs with
+     | None -> ()
+     | Some obs ->
+       (* same timing as the tracer snapshot: the partition in effect at
+          the top of the cycle, before faults land *)
+       Ximd_obs.Sink.on_partition obs ~cycle:state.cycle
+         ~ssets:(Partition.ssets state.partition));
     (match state.faults with
      | None -> ()
      | Some f -> Exec.apply_faults state f);
@@ -41,7 +48,10 @@ let step ?tracer (state : State.t) =
           M.Hazard.report state.log ~cycle:state.cycle
             (M.Hazard.Fell_off_end { fu; addr = pc });
           parcels.(fu) <- Parcel.halted
-        end
+        end;
+        match state.obs with
+        | None -> ()
+        | Some obs -> Ximd_obs.Sink.on_fetch obs ~cycle:state.cycle ~fu ~pc
       end
     done;
     (* Branch-condition evaluation against start-of-cycle CC/SS. *)
@@ -67,19 +77,35 @@ let step ?tracer (state : State.t) =
       if was_live.(fu) then begin
         match parcels.(fu).control with
         | Control.Halt ->
+          let old_ss = state.sss.(fu) in
           state.halted.(fu) <- true;
           (* A finished stream reads as DONE (DESIGN.md §5). *)
-          state.sss.(fu) <- Sync.Done
+          state.sss.(fu) <- Sync.Done;
+          (match state.obs with
+           | None -> ()
+           | Some obs ->
+             if not (Sync.equal old_ss Sync.Done) then
+               Ximd_obs.Sink.on_ss obs ~cycle:state.cycle ~fu ~to_done:true;
+             Ximd_obs.Sink.on_halt obs ~cycle:state.cycle ~fu)
         | Control.Branch { cond; _ } as control ->
+          let old_ss = state.sss.(fu) in
           state.sss.(fu) <- parcels.(fu).sync;
           if not (Cond.is_unconditional cond) then
             stats.cond_branches <- stats.cond_branches + 1;
           let pc = state.pcs.(fu) in
           (match Control.resolve control ~pc ~taken:taken.(fu) with
            | Some next ->
-             if next = pc && not (Cond.is_unconditional cond) then
-               stats.spin_slots <- stats.spin_slots + 1;
-             state.pcs.(fu) <- next
+             let spinning = next = pc && not (Cond.is_unconditional cond) in
+             if spinning then stats.spin_slots <- stats.spin_slots + 1;
+             state.pcs.(fu) <- next;
+             (match state.obs with
+              | None -> ()
+              | Some obs ->
+                if not (Sync.equal old_ss parcels.(fu).sync) then
+                  Ximd_obs.Sink.on_ss obs ~cycle:state.cycle ~fu
+                    ~to_done:(Sync.equal parcels.(fu).sync Sync.Done);
+                Ximd_obs.Sink.on_control obs ~cycle:state.cycle ~fu ~pc
+                  ~spinning ~sync:(Cond.is_sync cond))
            | None -> assert false)
       end
     done;
@@ -102,6 +128,10 @@ let step ?tracer (state : State.t) =
       Partition.count_live state.partition ~halted:state.halted
     in
     if live_streams > stats.max_streams then stats.max_streams <- live_streams;
+    (match state.obs with
+     | None -> ()
+     | Some obs ->
+       Ximd_obs.Sink.on_cycle_end obs ~cycle:state.cycle ~live_streams);
     state.cycle <- state.cycle + 1;
     stats.cycles <- state.cycle
   end
@@ -119,8 +149,18 @@ let run ?tracer ?watchdog (state : State.t) =
     else begin
       step ?tracer state;
       match watchdog with
-      | Some w when Watchdog.observe w state -> Watchdog.deadlocked state
+      | Some w when Watchdog.observe w state ->
+        (match state.obs with
+         | None -> ()
+         | Some obs ->
+           Ximd_obs.Sink.on_watchdog obs ~cycle:state.cycle
+             ~quiet:(Watchdog.window w));
+        Watchdog.deadlocked state
       | Some _ | None -> loop ()
     end
   in
-  loop ()
+  let outcome = loop () in
+  (match state.obs with
+   | None -> ()
+   | Some obs -> Ximd_obs.Sink.finish obs ~cycle:state.cycle);
+  outcome

@@ -33,6 +33,10 @@ let is_unconditional = function
   | Always1 | Always2 -> true
   | Cc _ | Ss _ | All_ss _ | Any_ss _ -> false
 
+let is_sync = function
+  | Ss _ | All_ss _ | Any_ss _ -> true
+  | Always1 | Always2 | Cc _ -> false
+
 let equal a b =
   match a, b with
   | Always1, Always1 | Always2, Always2 -> true

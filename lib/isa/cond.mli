@@ -39,6 +39,10 @@ val is_unconditional : t -> bool
 (** True for [Always1]/[Always2]: the outcome does not depend on any
     run-time state. *)
 
+val is_sync : t -> bool
+(** True for [Ss]/[All_ss]/[Any_ss]: the condition reads synchronisation
+    signals, so a branch spinning on it is a barrier wait (§3.3). *)
+
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -38,6 +38,7 @@ let drops t ~fu = t.drop_mask land (1 lsl fu) <> 0
 let dups t ~fu = t.dup_mask land (1 lsl fu) <> 0
 
 let fired t = List.rev t.fired
+let fired_rev t = t.fired
 let remaining t = Array.length t.events - t.cursor
 
 let kind_name = function

@@ -64,6 +64,11 @@ val dups : t -> fu:int -> bool
 val fired : t -> event list
 (** Events that have fired so far, in firing order. *)
 
+val fired_rev : t -> event list
+(** {!fired} newest first, without the reversal — shares the internal
+    list, so per-cycle observers can peel off just-fired events without
+    allocating. *)
+
 val remaining : t -> int
 (** Events not yet fired. *)
 

@@ -1,0 +1,57 @@
+type t =
+  | Fetch of { cycle : int; fu : int; pc : int }
+  | Commit of { cycle : int; results : int }
+  | Cc_broadcast of { cycle : int; fu : int; value : bool }
+  | Ss_transition of { cycle : int; fu : int; to_done : bool }
+  | Partition_change of { cycle : int; ssets : int list list }
+  | Barrier_enter of { cycle : int; fu : int; pc : int }
+  | Barrier_exit of { cycle : int; fu : int; pc : int; waited : int }
+  | Halt of { cycle : int; fu : int }
+  | Fault_fired of { cycle : int; kind : string; target : int }
+  | Watchdog_window of { cycle : int; quiet : int }
+
+let cycle = function
+  | Fetch { cycle; _ }
+  | Commit { cycle; _ }
+  | Cc_broadcast { cycle; _ }
+  | Ss_transition { cycle; _ }
+  | Partition_change { cycle; _ }
+  | Barrier_enter { cycle; _ }
+  | Barrier_exit { cycle; _ }
+  | Halt { cycle; _ }
+  | Fault_fired { cycle; _ }
+  | Watchdog_window { cycle; _ } ->
+    cycle
+
+let dummy = Commit { cycle = -1; results = 0 }
+
+let ssets_string ssets =
+  String.concat ""
+    (List.map
+       (fun g -> "{" ^ String.concat "," (List.map string_of_int g) ^ "}")
+       ssets)
+
+let pp fmt = function
+  | Fetch { cycle; fu; pc } ->
+    Format.fprintf fmt "%d fetch fu%d pc=%02x" cycle fu pc
+  | Commit { cycle; results } ->
+    Format.fprintf fmt "%d commit %d results" cycle results
+  | Cc_broadcast { cycle; fu; value } ->
+    Format.fprintf fmt "%d cc fu%d=%c" cycle fu (if value then 'T' else 'F')
+  | Ss_transition { cycle; fu; to_done } ->
+    Format.fprintf fmt "%d ss fu%d->%s" cycle fu
+      (if to_done then "DONE" else "BUSY")
+  | Partition_change { cycle; ssets } ->
+    Format.fprintf fmt "%d partition %s" cycle (ssets_string ssets)
+  | Barrier_enter { cycle; fu; pc } ->
+    Format.fprintf fmt "%d barrier-enter fu%d pc=%02x" cycle fu pc
+  | Barrier_exit { cycle; fu; pc; waited } ->
+    Format.fprintf fmt "%d barrier-exit fu%d pc=%02x waited=%d" cycle fu pc
+      waited
+  | Halt { cycle; fu } -> Format.fprintf fmt "%d halt fu%d" cycle fu
+  | Fault_fired { cycle; kind; target } ->
+    Format.fprintf fmt "%d fault %s:%d" cycle kind target
+  | Watchdog_window { cycle; quiet } ->
+    Format.fprintf fmt "%d watchdog quiet=%d" cycle quiet
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,81 @@
+type t = {
+  n_fus : int;
+  code_len : int;
+  counts : int array;  (* fu * code_len + pc *)
+  mutable total : int;
+  mutable out_of_range : int;
+}
+
+let create ~n_fus ~code_len =
+  if n_fus < 1 then invalid_arg "Profile.create: n_fus must be >= 1";
+  if code_len < 0 then invalid_arg "Profile.create: negative code_len";
+  { n_fus;
+    code_len;
+    counts = Array.make (n_fus * code_len) 0;
+    total = 0;
+    out_of_range = 0 }
+
+let n_fus t = t.n_fus
+let code_len t = t.code_len
+let total t = t.total
+let out_of_range t = t.out_of_range
+
+let sample t ~fu ~pc =
+  t.total <- t.total + 1;
+  if pc >= 0 && pc < t.code_len && fu >= 0 && fu < t.n_fus then begin
+    let i = (fu * t.code_len) + pc in
+    t.counts.(i) <- t.counts.(i) + 1
+  end
+  else t.out_of_range <- t.out_of_range + 1
+
+let count t ~fu ~pc =
+  if pc >= 0 && pc < t.code_len && fu >= 0 && fu < t.n_fus then
+    t.counts.((fu * t.code_len) + pc)
+  else 0
+
+type line = {
+  pc : int;
+  samples : int;
+  per_fu : int array;
+}
+
+let flat t =
+  let lines = ref [] in
+  for pc = t.code_len - 1 downto 0 do
+    let per_fu = Array.init t.n_fus (fun fu -> t.counts.((fu * t.code_len) + pc)) in
+    let samples = Array.fold_left ( + ) 0 per_fu in
+    if samples > 0 then lines := { pc; samples; per_fu } :: !lines
+  done;
+  List.stable_sort (fun a b -> Int.compare b.samples a.samples) !lines
+
+let reset t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.total <- 0;
+  t.out_of_range <- 0
+
+let pp ?(describe = fun _ -> "") fmt t =
+  let lines = flat t in
+  let total = t.total in
+  Format.pp_open_vbox fmt 0;
+  Format.fprintf fmt "hot PCs: %d samples over %d addresses (%d FUs)@,"
+    total (List.length lines) t.n_fus;
+  Format.fprintf fmt "  pc   samples      %%    cum%%  per-FU@,";
+  let cum = ref 0 in
+  List.iter
+    (fun l ->
+      cum := !cum + l.samples;
+      let pct n =
+        if total = 0 then 0. else 100. *. float_of_int n /. float_of_int total
+      in
+      Format.fprintf fmt "  %02x  %8d  %5.1f  %6.1f  %s" l.pc l.samples
+        (pct l.samples) (pct !cum)
+        (String.concat "/"
+           (Array.to_list (Array.map string_of_int l.per_fu)));
+      (match describe l.pc with
+       | "" -> ()
+       | d -> Format.fprintf fmt "  %s" d);
+      Format.pp_print_cut fmt ())
+    lines;
+  if t.out_of_range > 0 then
+    Format.fprintf fmt "  (%d samples outside the program)@," t.out_of_range;
+  Format.pp_close_box fmt ()

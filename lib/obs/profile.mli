@@ -1,0 +1,40 @@
+(** Hot-PC profiler: per-FU instruction-address sample counts.
+
+    One counter per (FU, address) pair, preallocated as a flat matrix at
+    creation — a sample is a single array increment.  {!flat} collapses
+    the matrix into a classic flat profile sorted hottest-first; the
+    caller supplies address labels (symbols, opcode breakdowns) through
+    [describe], keeping this module below the program representation. *)
+
+type t
+
+val create : n_fus:int -> code_len:int -> t
+(** @raise Invalid_argument if [n_fus < 1] or [code_len < 0]. *)
+
+val n_fus : t -> int
+val code_len : t -> int
+
+val sample : t -> fu:int -> pc:int -> unit
+(** Out-of-range [pc]s (an FU fallen off the end) are tallied in
+    {!out_of_range} instead of a bucket. *)
+
+val count : t -> fu:int -> pc:int -> int
+val total : t -> int
+val out_of_range : t -> int
+
+type line = {
+  pc : int;
+  samples : int;       (** across all FUs *)
+  per_fu : int array;
+}
+
+val flat : t -> line list
+(** Addresses with at least one sample, hottest first (ties by
+    address). *)
+
+val reset : t -> unit
+
+val pp : ?describe:(int -> string) -> Format.formatter -> t -> unit
+(** Flat profile: samples, percentage, cumulative percentage, per-FU
+    split, and [describe pc] (e.g. label + opcode breakdown) per
+    line. *)

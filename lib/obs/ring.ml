@@ -1,0 +1,37 @@
+type 'a t = {
+  buf : 'a array;
+  mutable len : int;     (* live entries, <= capacity *)
+  mutable next : int;    (* slot the next push writes *)
+  mutable dropped : int;
+}
+
+let create ~capacity ~dummy =
+  if capacity < 1 then invalid_arg "Ring.create: capacity must be >= 1";
+  { buf = Array.make capacity dummy; len = 0; next = 0; dropped = 0 }
+
+let capacity t = Array.length t.buf
+let length t = t.len
+let dropped t = t.dropped
+
+let push t x =
+  let cap = Array.length t.buf in
+  t.buf.(t.next) <- x;
+  t.next <- (t.next + 1) mod cap;
+  if t.len < cap then t.len <- t.len + 1 else t.dropped <- t.dropped + 1
+
+let iter t f =
+  let cap = Array.length t.buf in
+  let start = (t.next - t.len + cap) mod cap in
+  for i = 0 to t.len - 1 do
+    f t.buf.((start + i) mod cap)
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun x -> acc := x :: !acc);
+  List.rev !acc
+
+let clear t =
+  t.len <- 0;
+  t.next <- 0;
+  t.dropped <- 0

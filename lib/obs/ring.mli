@@ -1,0 +1,33 @@
+(** Fixed-capacity ring buffer.
+
+    The event tracer's backing store: one array allocated up front, no
+    allocation per push.  When full, a push overwrites the oldest entry
+    and bumps the {!dropped} count — tracing a long run degrades to "the
+    most recent [capacity] events" instead of growing without bound. *)
+
+type 'a t
+
+val create : capacity:int -> dummy:'a -> 'a t
+(** [create ~capacity ~dummy] preallocates storage for [capacity]
+    entries, initially filled with [dummy] (never observable through
+    {!iter}/{!to_list}).
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Live entries, [<= capacity]. *)
+
+val dropped : 'a t -> int
+(** Entries overwritten because the ring was full. *)
+
+val push : 'a t -> 'a -> unit
+
+val iter : 'a t -> ('a -> unit) -> unit
+(** Oldest first. *)
+
+val to_list : 'a t -> 'a list
+(** Oldest first. *)
+
+val clear : 'a t -> unit
+(** Forget all entries and the dropped count; capacity is unchanged. *)

@@ -1,0 +1,50 @@
+type interval = {
+  members : int list;
+  start_cycle : int;
+  stop_cycle : int;
+}
+
+let duration i = i.stop_cycle - i.start_cycle
+
+(* Open intervals are an assoc list keyed by membership (sorted int
+   list, structural equality) — partitions hold at most n_fus SSETs, so
+   linear scans are fine. *)
+let reconstruct ~final_cycle history =
+  let closed = ref [] in
+  let step opens (cycle, ssets) =
+    let survives, dies =
+      List.partition (fun (members, _) -> List.mem members ssets) opens
+    in
+    List.iter
+      (fun (members, start_cycle) ->
+        closed :=
+          { members; start_cycle; stop_cycle = cycle } :: !closed)
+      dies;
+    let fresh =
+      List.filter
+        (fun members -> not (List.mem_assoc members survives))
+        ssets
+    in
+    survives @ List.map (fun members -> (members, cycle)) fresh
+  in
+  let opens = List.fold_left step [] history in
+  List.iter
+    (fun (members, start_cycle) ->
+      let stop_cycle = max final_cycle start_cycle in
+      closed := { members; start_cycle; stop_cycle } :: !closed)
+    opens;
+  List.sort
+    (fun a b ->
+      match Int.compare a.start_cycle b.start_cycle with
+      | 0 -> compare a.members b.members
+      | c -> c)
+    !closed
+
+let pp fmt intervals =
+  Format.pp_open_vbox fmt 0;
+  List.iter
+    (fun i ->
+      Format.fprintf fmt "%4d..%-4d  {%s}@," i.start_cycle i.stop_cycle
+        (String.concat "," (List.map string_of_int i.members)))
+    intervals;
+  Format.pp_close_box fmt ()

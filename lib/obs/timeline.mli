@@ -1,0 +1,28 @@
+(** SSET timelines: fork/join thread intervals from partition history.
+
+    The simulators record the partition in effect each time it changes
+    (as [(cycle, ssets)] pairs).  {!reconstruct} turns that history into
+    the intervals a human thinks in: "FUs {2,3} ran as one lockstep
+    stream from cycle 3 to cycle 9".  An SSET whose membership survives
+    a partition change keeps its interval open; any change of membership
+    closes it (join) and opens successors (fork) — exactly the Figure 11
+    fork/join story. *)
+
+type interval = {
+  members : int list;  (** FU members, ascending *)
+  start_cycle : int;   (** first cycle the SSET was in effect *)
+  stop_cycle : int;    (** exclusive: first cycle it no longer was *)
+}
+
+val reconstruct :
+  final_cycle:int -> (int * int list list) list -> interval list
+(** [reconstruct ~final_cycle history] with [history] in chronological
+    order (each entry: the cycle a new partition took effect and its
+    SSETs).  Intervals still open at the end close at [final_cycle].
+    The result is sorted by [(start_cycle, members)].  An empty history
+    yields no intervals. *)
+
+val duration : interval -> int
+
+val pp : Format.formatter -> interval list -> unit
+(** One line per interval: [   3..9     {2,3}]. *)

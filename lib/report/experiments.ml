@@ -175,15 +175,21 @@ let e5 fmt =
   match W.Suite.table () with
   | Error msg -> Format.fprintf fmt "FAILED: %s@," msg
   | Ok rows ->
-    Format.fprintf fmt "%-10s %8s %8s %8s %8s %7s %7s@," "program"
-      "ximd" "vliw" "speedup" "streams" "x-util" "v-util";
+    Format.fprintf fmt "%-10s %8s %8s %8s %8s %7s %7s %7s %7s@," "program"
+      "ximd" "vliw" "speedup" "streams" "x-util" "v-util" "x-eff" "v-eff";
     List.iter
       (fun (r : W.Suite.row) ->
-        Format.fprintf fmt "%-10s %8d %8d %7.2fx %8d %6.1f%% %6.1f%%@,"
+        Format.fprintf fmt
+          "%-10s %8d %8d %7.2fx %8d %6.1f%% %6.1f%% %6.1f%% %6.1f%%@,"
           r.name r.ximd_cycles r.vliw_cycles r.speedup r.ximd_max_streams
           (100. *. r.ximd_utilisation)
-          (100. *. r.vliw_utilisation))
+          (100. *. r.vliw_utilisation)
+          (100. *. r.ximd_effective_utilisation)
+          (100. *. r.vliw_effective_utilisation))
       rows;
+    Format.fprintf fmt
+      "@,(util = data ops per FU-cycle slot; eff excludes busy-wait slots \
+       from the denominator)@,";
     let wins =
       List.length (List.filter (fun (r : W.Suite.row) -> r.speedup > 1.05) rows)
     in
@@ -203,8 +209,8 @@ let e6 fmt =
     "peak: %.1f MIPS / %.1f MFLOPS (paper: \"in excess of 90 MIPS/90 \
      MFLOPS\")@,@,"
     peak peak;
-  Format.fprintf fmt "%-10s %10s %10s %9s@," "program" "MIPS" "MFLOPS"
-    "util";
+  Format.fprintf fmt "%-10s %10s %10s %9s %9s@," "program" "MIPS" "MFLOPS"
+    "util" "eff-util";
   List.iter
     (fun workload ->
       match W.Workload.run_checked workload.W.Workload.ximd with
@@ -213,11 +219,12 @@ let e6 fmt =
       | Ok (_, state) ->
         let stats = state.Ximd_core.State.stats in
         let n_fus = Ximd_core.State.n_fus state in
-        Format.fprintf fmt "%-10s %10.1f %10.1f %8.1f%%@,"
+        Format.fprintf fmt "%-10s %10.1f %10.1f %8.1f%% %8.1f%%@,"
           workload.W.Workload.name
           (Ximd_core.Stats.mips stats ~cycle_ns:prototype_cycle_ns)
           (Ximd_core.Stats.mflops stats ~cycle_ns:prototype_cycle_ns)
-          (100. *. Ximd_core.Stats.utilisation stats ~n_fus))
+          (100. *. Ximd_core.Stats.utilisation stats ~n_fus)
+          (100. *. Ximd_core.Stats.effective_utilisation stats ~n_fus))
     (W.Suite.all ())
 
 (* ------------------------------------------------------------------ *)

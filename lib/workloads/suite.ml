@@ -7,6 +7,8 @@ type row = {
   ximd_max_streams : int;
   ximd_utilisation : float;
   vliw_utilisation : float;
+  ximd_effective_utilisation : float;
+  vliw_effective_utilisation : float;
 }
 
 let all () =
@@ -49,7 +51,11 @@ let measure (workload : Workload.t) =
         speedup = float_of_int vs.cycles /. float_of_int xs.cycles;
         ximd_max_streams = xs.max_streams;
         ximd_utilisation = Ximd_core.Stats.utilisation xs ~n_fus:x_fus;
-        vliw_utilisation = Ximd_core.Stats.utilisation vs ~n_fus:v_fus }
+        vliw_utilisation = Ximd_core.Stats.utilisation vs ~n_fus:v_fus;
+        ximd_effective_utilisation =
+          Ximd_core.Stats.effective_utilisation xs ~n_fus:x_fus;
+        vliw_effective_utilisation =
+          Ximd_core.Stats.effective_utilisation vs ~n_fus:v_fus }
 
 let table () =
   let rec loop acc = function

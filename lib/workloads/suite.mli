@@ -14,7 +14,13 @@ type row = {
   speedup : float;
   ximd_max_streams : int;
   ximd_utilisation : float;
+      (** raw {!Ximd_core.Stats.utilisation} — spin slots count against *)
   vliw_utilisation : float;
+  ximd_effective_utilisation : float;
+      (** {!Ximd_core.Stats.effective_utilisation} — spin slots excluded
+          from the denominator, i.e. schedule density over the slots the
+          compiler controlled *)
+  vliw_effective_utilisation : float;
 }
 
 val all : unit -> Workload.t list

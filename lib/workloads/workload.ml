@@ -17,8 +17,8 @@ type t = {
   vliw : variant option;
 }
 
-let run ?tracer ?watchdog variant =
-  let state = State.create ~config:variant.config variant.program in
+let run ?tracer ?watchdog ?obs variant =
+  let state = State.create ~config:variant.config ?obs variant.program in
   variant.setup state;
   let outcome =
     match variant.sim with
@@ -27,8 +27,8 @@ let run ?tracer ?watchdog variant =
   in
   (outcome, state)
 
-let run_checked ?tracer ?watchdog variant =
-  let outcome, state = run ?tracer ?watchdog variant in
+let run_checked ?tracer ?watchdog ?obs variant =
+  let outcome, state = run ?tracer ?watchdog ?obs variant in
   match outcome with
   | Run.Fuel_exhausted { cycles } ->
     Error (Printf.sprintf "fuel exhausted after %d cycles" cycles)

@@ -26,14 +26,21 @@ type t = {
 }
 
 val run :
-  ?tracer:Tracer.t -> ?watchdog:Watchdog.t -> variant -> Run.outcome * State.t
+  ?tracer:Tracer.t ->
+  ?watchdog:Watchdog.t ->
+  ?obs:Ximd_obs.Sink.t ->
+  variant ->
+  Run.outcome * State.t
 (** Creates a state, applies [setup], and runs the variant on its
     simulator.  When [watchdog] is given, wedged runs classify as
-    {!Run.Deadlocked} instead of burning their fuel. *)
+    {!Run.Deadlocked} instead of burning their fuel.  When [obs] is
+    given, the run feeds events and metrics into the sink (see
+    {!Ximd_obs.Sink}). *)
 
 val run_checked :
   ?tracer:Tracer.t ->
   ?watchdog:Watchdog.t ->
+  ?obs:Ximd_obs.Sink.t ->
   variant ->
   (Run.outcome * State.t, string) result
 (** Like {!run}, but requires the run to halt within fuel — fuel

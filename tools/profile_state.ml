@@ -1,7 +1,11 @@
-(* Breaks a workload micro-benchmark run into its phases, to show where
-   the wall-clock goes (tools/profile_state.exe [workload]). *)
+(* Profiles a workload through the lib/obs observability sink
+   (tools/profile_state.exe [workload]): flat hot-PC profile, SSET
+   timeline and per-FU utilisation from one observed run, then the
+   sink-on vs sink-off cost per run.  The state walking this tool used
+   to do by hand now lives in Ximd_obs.{Sink,Profile,Timeline}. *)
 
 module W = Ximd_workloads
+module Obs = Ximd_obs
 
 let time label iters f =
   for _ = 1 to iters / 10 do f () done;
@@ -23,18 +27,37 @@ let () =
     | None -> failwith ("unknown workload " ^ name)
   in
   let v = w.ximd in
-  time "validate" 2000 (fun () ->
-    ignore (Ximd_core.Program.validate v.program v.config));
-  time "create" 2000 (fun () ->
-    ignore (Ximd_core.State.create ~config:v.config v.program));
-  time "create+setup" 2000 (fun () ->
-    let s = Ximd_core.State.create ~config:v.config v.program in
-    v.setup s);
-  time "create+setup+run" 2000 (fun () ->
-    let s = Ximd_core.State.create ~config:v.config v.program in
-    v.setup s;
-    ignore (Ximd_core.Xsim.run s));
-  let s = Ximd_core.State.create ~config:v.config v.program in
-  v.setup s;
-  ignore (Ximd_core.Xsim.run s);
-  Printf.printf "cycles per run: %d\n" s.Ximd_core.State.cycle
+  let program = v.program in
+  let sink =
+    Obs.Sink.create ~n_fus:v.config.n_fus
+      ~code_len:(Ximd_core.Program.length program)
+      ()
+  in
+  let outcome, _state = W.Workload.run ~obs:sink v in
+  Format.printf "%s: %a@." w.name Ximd_core.Run.pp outcome;
+  (match Obs.Sink.profile sink with
+   | None -> ()
+   | Some prof ->
+     let describe pc =
+       match Ximd_core.Program.label_at program pc with
+       | Some l -> l
+       | None -> ""
+     in
+     Format.printf "%a@." (Obs.Profile.pp ~describe) prof);
+  Format.printf "SSET timeline:@.%a@." Obs.Timeline.pp
+    (Obs.Sink.timeline sink);
+  Format.printf "%a@." Obs.Sink.pp_summary sink;
+  (* Observation cost: same run with the sink off, on, and metrics-only
+     (no event ring, no profile matrix). *)
+  time "run (no sink)" 2000 (fun () -> ignore (W.Workload.run v));
+  time "run (sink on)" 2000 (fun () ->
+    Obs.Sink.reset sink;
+    ignore (W.Workload.run ~obs:sink v));
+  let lean =
+    Obs.Sink.create ~trace:false ~profile:false ~n_fus:v.config.n_fus
+      ~code_len:(Ximd_core.Program.length program)
+      ()
+  in
+  time "run (metrics only)" 2000 (fun () ->
+    Obs.Sink.reset lean;
+    ignore (W.Workload.run ~obs:lean v))
