@@ -60,39 +60,59 @@ let workload_tests ?(filter = []) () =
   in
   List.concat_map per_workload (selected_workloads filter)
 
+let minmax_ximd () =
+  match
+    List.find_opt (fun (w : W.Workload.t) -> w.name = "minmax")
+      (W.Suite.all ())
+  with
+  | Some w -> w.ximd
+  | None -> failwith "bench: minmax workload missing"
+
+let run_session session variant =
+  match W.Workload.run_session session variant with
+  | Ximd_core.Run.Halted _ -> ()
+  | Ximd_core.Run.Fuel_exhausted _ | Ximd_core.Run.Deadlocked _ ->
+    failwith "bench workload hung"
+
+(* Session reuse: the same minmax/xsim run on one reused session —
+   State.reset rewinds the arenas instead of reallocating them, so the
+   row quantifies reset-vs-fresh state construction against the plain
+   minmax/xsim entry. *)
+let session_tests ?(filter = []) () =
+  let open Bechamel in
+  if filter <> [] && not (List.mem "minmax" filter) then []
+  else begin
+    let v = minmax_ximd () in
+    let session = W.Workload.session v in
+    [ Test.make ~name:"minmax/xsim-session"
+        (Staged.stage (fun () -> run_session session v)) ]
+  end
+
 (* Observability overhead: minmax/xsim with a full sink attached (event
-   ring + metrics + hot-PC profile) and with a metrics-only sink.  One
-   sink is allocated up front and [Sink.reset] between runs, so the
-   64Ki ring allocation is not on the timed path — the numbers isolate
-   the per-cycle emission cost.  Budget: xsim+obs ≤ 2× plain xsim. *)
+   ring + metrics + hot-PC profile) and with a metrics-only sink.  Each
+   row reuses one session (Session.run resets the attached sink), so
+   the 64Ki ring allocation is not on the timed path — the numbers
+   isolate the per-cycle emission cost.  Budget: xsim+obs ≤ 2× the
+   equally-amortised minmax/xsim-session row. *)
 let obs_tests ?(filter = []) () =
   let open Bechamel in
   if filter <> [] && not (List.mem "minmax" filter) then []
   else begin
-    (* Same variant the plain minmax/xsim entry runs, so the two rows
-       differ only in whether a sink is attached. *)
-    let v =
-      match
-        List.find_opt (fun (w : W.Workload.t) -> w.name = "minmax")
-          (W.Suite.all ())
-      with
-      | Some w -> w.ximd
-      | None -> failwith "obs bench: minmax workload missing"
-    in
+    (* Same variant the plain minmax entries run, so the rows differ
+       only in whether a sink is attached. *)
+    let v = minmax_ximd () in
     let code_len = Ximd_core.Program.length v.program in
     let sink = Ximd_obs.Sink.create ~n_fus:v.config.n_fus ~code_len () in
     let lean =
       Ximd_obs.Sink.create ~trace:false ~profile:false ~n_fus:v.config.n_fus
         ~code_len ()
     in
+    let observed = W.Workload.session ~obs:sink v in
+    let lean_session = W.Workload.session ~obs:lean v in
     [ Test.make ~name:"minmax/xsim+obs"
-        (Staged.stage (fun () ->
-           Ximd_obs.Sink.reset sink;
-           ignore (run_variant ~obs:sink v)));
+        (Staged.stage (fun () -> run_session observed v));
       Test.make ~name:"minmax/xsim+obs-lean"
-        (Staged.stage (fun () ->
-           Ximd_obs.Sink.reset lean;
-           ignore (run_variant ~obs:lean v))) ]
+        (Staged.stage (fun () -> run_session lean_session v)) ]
   end
 
 let infra_tests () =
@@ -169,6 +189,7 @@ let run_micro ?(filter = []) () =
                  ===\n\n%!";
   let tests =
     workload_tests ~filter ()
+    @ session_tests ~filter ()
     @ obs_tests ~filter ()
     @ (if filter = [] then infra_tests () else [])
   in
@@ -194,13 +215,24 @@ let run_json ?(filter = []) () =
         let entries =
           [ (w.name ^ "/xsim", w.name, "xsim", run_variant w.ximd) ]
         in
+        let entries =
+          (* the session-reuse row retires the same cycles as the plain
+             xsim row; only the per-run cost differs *)
+          if w.name = "minmax" then
+            entries
+            @ [ (w.name ^ "/xsim-session", w.name, "xsim-session",
+                 run_variant w.ximd) ]
+          else entries
+        in
         match w.vliw with
         | None -> entries
         | Some vliw ->
           entries @ [ (w.name ^ "/vsim", w.name, "vsim", run_variant vliw) ])
       workloads
   in
-  let estimates = measure_tests (workload_tests ~filter ()) in
+  let estimates =
+    measure_tests (workload_tests ~filter () @ session_tests ~filter ())
+  in
   let oc = open_out bench_json_file in
   let first = ref true in
   Printf.fprintf oc "{\n";

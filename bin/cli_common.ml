@@ -153,6 +153,18 @@ let timeline_flag =
               observability summary (per-FU utilisation, spin streaks, \
               barrier waits).")
 
+let repeat_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "repeat" ] ~docv:"N"
+        ~doc:"Run the program $(docv) times on one reused simulator \
+              session (state arenas are rewound between runs, not \
+              reallocated) and report per-run wall time.  Register and \
+              memory initialisers are reapplied before every run.  \
+              Diagnostic output — trace, dumps, statistics, postmortem, \
+              observability exports, exit code — reflects the final \
+              run.")
+
 let postmortem_arg =
   Arg.(
     value
@@ -175,8 +187,12 @@ let write_output path contents =
   end
 
 let run_simulator sim path trace listing stats max_cycles record_hazards
-    detect_deadlock deadlock_window inject postmortem trace_events
+    detect_deadlock deadlock_window inject repeat postmortem trace_events
     metrics_file profile timeline reg_inits mem_inits dump_regs dump_mem =
+  if repeat < 1 then begin
+    Printf.eprintf "--repeat must be at least 1\n";
+    exit 1
+  end;
   match program_of_file path with
   | Error msg ->
     Printf.eprintf "%s\n" msg;
@@ -218,16 +234,25 @@ let run_simulator sim path trace listing stats max_cycles record_hazards
              ())
       else None
     in
-    let state =
-      try Ximd_core.State.create ~config ?faults ?obs program
+    let model =
+      match sim with
+      | Xsim -> Ximd_core.Engine.Per_fu
+      | Vsim -> Ximd_core.Engine.Global
+      | T500 -> Ximd_core.Engine.Banked
+    in
+    let session =
+      try Ximd_core.Session.create ~config ?faults ?obs ~model program
       with Invalid_argument msg ->
         Printf.eprintf "%s\n" msg;
         exit 1
     in
-    List.iter
-      (fun (r, v) -> Ximd_machine.Regfile.set state.regs r v)
-      reg_inits;
-    List.iter (fun (a, v) -> Ximd_core.State.mem_set state a v) mem_inits;
+    let state = Ximd_core.Session.state session in
+    let setup (state : Ximd_core.State.t) =
+      List.iter
+        (fun (r, v) -> Ximd_machine.Regfile.set state.regs r v)
+        reg_inits;
+      List.iter (fun (a, v) -> Ximd_core.State.mem_set state a v) mem_inits
+    in
     let tracer = if trace then Some (Ximd_core.Tracer.create ()) else None in
     let watchdog =
       if detect_deadlock then (
@@ -238,13 +263,8 @@ let run_simulator sim path trace listing stats max_cycles record_hazards
         Some (Ximd_core.Watchdog.create ~window:deadlock_window ()))
       else None
     in
-    let outcome =
-      try
-        match sim with
-        | Xsim -> Ximd_core.Xsim.run ?tracer ?watchdog state
-        | Vsim -> Ximd_core.Vsim.run ?tracer ?watchdog state
-        | T500 -> Ximd_core.T500.run ?tracer ?watchdog state
-      with
+    let run_once ?tracer () =
+      try Ximd_core.Session.run ?tracer ?watchdog ~setup session with
       | Ximd_machine.Hazard.Error event ->
         Printf.eprintf "hazard: %s\n"
           (Format.asprintf "%a" Ximd_machine.Hazard.pp_event event);
@@ -252,6 +272,26 @@ let run_simulator sim path trace listing stats max_cycles record_hazards
       | Invalid_argument msg ->
         Printf.eprintf "%s\n" msg;
         exit 1
+    in
+    let outcome =
+      if repeat = 1 then run_once ?tracer ()
+      else begin
+        (* The tracer (and every other diagnostic) reflects the final
+           run only; earlier iterations exist to exercise and time
+           session reuse. *)
+        let last = ref (Ximd_core.Run.Halted { cycles = 0 }) in
+        for i = 1 to repeat do
+          let tracer = if i = repeat then tracer else None in
+          let t0 = Unix.gettimeofday () in
+          let outcome = run_once ?tracer () in
+          let t1 = Unix.gettimeofday () in
+          Format.printf "run %-4d %10.1f us  %a@." i
+            ((t1 -. t0) *. 1e6)
+            Ximd_core.Run.pp outcome;
+          last := outcome
+        done;
+        !last
+      end
     in
     (match tracer with
      | Some t -> Format.printf "%a@." (Ximd_core.Tracer.pp_figure10 ?comments:None) t
@@ -363,6 +403,7 @@ let simulator_term sim_term =
     const run_simulator
     $ sim_term $ file_arg $ trace_flag $ listing_flag $ stats_flag
     $ max_cycles_arg $ record_hazards_flag $ detect_deadlock_flag
-    $ deadlock_window_arg $ inject_arg $ postmortem_arg $ trace_events_arg
+    $ deadlock_window_arg $ inject_arg $ repeat_arg $ postmortem_arg
+    $ trace_events_arg
     $ metrics_arg $ profile_flag $ timeline_flag $ reg_inits_arg
     $ mem_inits_arg $ dump_regs_arg $ dump_mem_arg)

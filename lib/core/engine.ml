@@ -1,0 +1,349 @@
+open Ximd_isa
+module M = Ximd_machine
+
+(* One allocation-free cycle pipeline for all three machine models.  The
+   paper's subsumption argument (§2, Figure 3) — a VLIW is the
+   degenerate XIMD with one global sequencer, the TRACE/500 the
+   two-sequencer point in between — is encoded structurally: the only
+   thing a {!model} changes is how FUs group into sequencer-led streams
+   and what the sequencer drives (SS discipline, partition rule).
+
+   All reads observe start-of-cycle state; all writes commit at the end
+   (paper §2.2, verified against the Figure 10 trace — see DESIGN.md
+   §5).  The loop works entirely in the preallocated [state.scratch]
+   buffers: a steady-state cycle allocates nothing beyond the boxed ALU
+   results and, when the control signatures changed, a fresh
+   partition. *)
+
+type model = Per_fu | Global | Banked
+
+let n_streams model ~n =
+  match model with Per_fu -> n | Global -> 1 | Banked -> 2
+
+(* Streams are contiguous FU ranges [leader..last]; the leader's parcel
+   carries the stream's control fields. *)
+let[@inline] stream_bounds model ~n k =
+  match model with
+  | Per_fu -> (k, k)
+  | Global -> (0, n - 1)
+  | Banked -> if k = 0 then (0, (n / 2) - 1) else (n / 2, n - 1)
+
+(* The FU a stream's hazards (fell-off-end, undefined CC) are attributed
+   to: its sequencer.  The global sequencer is not an FU of its own, so
+   blame the lowest FU still issuing — with no faults injected that is
+   FU 0, the leader. *)
+let[@inline] seq_fu model (state : State.t) ~leader ~last =
+  match model with
+  | Per_fu | Banked -> leader
+  | Global ->
+    let rec first fu =
+      if fu >= last || not state.halted.(fu) then fu else first (fu + 1)
+    in
+    first leader
+
+let bank_consistent program =
+  let n = Program.n_fus program in
+  let half = n / 2 in
+  let consistent_with leader row fu =
+    let (l : Parcel.t) = row.(leader) and (p : Parcel.t) = row.(fu) in
+    Control.equal p.control l.control && Sync.equal p.sync l.sync
+  in
+  let ok = ref true in
+  for addr = 0 to Program.length program - 1 do
+    let row = Program.row program addr in
+    for fu = 0 to n - 1 do
+      let leader = if fu < half then 0 else half in
+      if not (consistent_with leader row fu) then ok := false
+    done
+  done;
+  !ok
+
+(* ------------------------------------------------------------------ *)
+(* Cross-cutting hooks.  The tracer, observability sink and fault
+   injector are threaded through the pipeline exactly once, here: each
+   helper costs one predictable branch when its facility is off (the
+   single-branch-when-[None] discipline of [state.faults]/[state.obs]),
+   and no engine-specific copy exists to drift. *)
+
+let[@inline] hook_cycle_top ?tracer (state : State.t) =
+  (match tracer with
+   | Some t -> Tracer.record t (Tracer.snapshot state)
+   | None -> ());
+  (match state.obs with
+   | None -> ()
+   | Some obs ->
+     (* same timing as the tracer snapshot: the partition in effect at
+        the top of the cycle, before faults land *)
+     Ximd_obs.Sink.on_partition obs ~cycle:state.cycle
+       ~ssets:(Partition.ssets state.partition));
+  match state.faults with
+  | None -> ()
+  | Some f -> Exec.apply_faults state f
+
+let[@inline] hook_fetch (state : State.t) ~fu ~pc =
+  match state.obs with
+  | None -> ()
+  | Some obs -> Ximd_obs.Sink.on_fetch obs ~cycle:state.cycle ~fu ~pc
+
+(* Set an FU's sync signal, reporting the edge (not the level) to the
+   sink. *)
+let[@inline] set_ss (state : State.t) ~fu sync =
+  let old_ss = state.sss.(fu) in
+  state.sss.(fu) <- sync;
+  match state.obs with
+  | None -> ()
+  | Some obs ->
+    if not (Sync.equal old_ss sync) then
+      Ximd_obs.Sink.on_ss obs ~cycle:state.cycle ~fu
+        ~to_done:(Sync.equal sync Sync.Done)
+
+let[@inline] hook_halt (state : State.t) ~fu =
+  match state.obs with
+  | None -> ()
+  | Some obs -> Ximd_obs.Sink.on_halt obs ~cycle:state.cycle ~fu
+
+let[@inline] hook_control (state : State.t) ~fu ~pc ~spinning ~sync =
+  match state.obs with
+  | None -> ()
+  | Some obs ->
+    Ximd_obs.Sink.on_control obs ~cycle:state.cycle ~fu ~pc ~spinning ~sync
+
+let[@inline] hook_cycle_end (state : State.t) ~live_streams =
+  match state.obs with
+  | None -> ()
+  | Some obs -> Ximd_obs.Sink.on_cycle_end obs ~cycle:state.cycle ~live_streams
+
+let[@inline] hook_watchdog (state : State.t) w =
+  match state.obs with
+  | None -> ()
+  | Some obs ->
+    Ximd_obs.Sink.on_watchdog obs ~cycle:state.cycle ~quiet:(Watchdog.window w)
+
+let[@inline] hook_finish (state : State.t) =
+  match state.obs with
+  | None -> ()
+  | Some obs -> Ximd_obs.Sink.finish obs ~cycle:state.cycle
+
+(* A finished stream reads as DONE (DESIGN.md §5) — except under the
+   global sequencer, where sync signals have no architectural role. *)
+let[@inline] halt_fu model (state : State.t) ~fu =
+  state.halted.(fu) <- true;
+  (match model with
+   | Per_fu | Banked -> set_ss state ~fu Sync.Done
+   | Global -> ());
+  hook_halt state ~fu
+
+(* ------------------------------------------------------------------ *)
+(* Partition update from control signatures.  Spin loops re-execute the
+   same signatures for many cycles, so reuse the previous partition when
+   nothing changed. *)
+
+let rec sigs_equal (a : Control.t array) b fu n =
+  fu >= n || (Control.equal a.(fu) b.(fu) && sigs_equal a b (fu + 1) n)
+
+let update_partition (state : State.t) n =
+  let s = state.scratch in
+  let sigs = s.sigs in
+  if not (s.prev_sigs_valid && sigs_equal sigs s.prev_sigs 0 n) then begin
+    state.partition <- Partition.of_signatures sigs;
+    Array.blit sigs 0 s.prev_sigs 0 n;
+    s.prev_sigs_valid <- true
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let step model ?tracer (state : State.t) =
+  if State.all_halted state then ()
+  else begin
+    hook_cycle_top ?tracer state;
+    let n = State.n_fus state in
+    let stats = state.stats in
+    let s = state.scratch in
+    let parcels = s.parcels
+    and was_live = s.was_live
+    and taken = s.taken
+    and str_live = s.str_live
+    and ctrl = s.ctrl in
+    let program = state.program in
+    let len = Program.length program in
+    let ns = n_streams model ~n in
+    (* Fetch.  Each live stream's sequencer selects one row; members
+       fetch their own parcels.  A live stream whose PC is outside the
+       program has fallen off the end: report against the sequencer's FU
+       and treat the stream as fetching halt parcels. *)
+    for k = 0 to ns - 1 do
+      let leader, last = stream_bounds model ~n k in
+      let live =
+        match model with
+        | Per_fu | Banked -> not state.halted.(leader)
+        | Global -> true (* [all_halted] already returned above *)
+      in
+      str_live.(k) <- live;
+      if not live then begin
+        ctrl.(k) <- Parcel.halted;
+        for fu = leader to last do
+          was_live.(fu) <- false;
+          parcels.(fu) <- Parcel.halted
+        done
+      end
+      else begin
+        let pc = state.pcs.(leader) in
+        let in_range = pc >= 0 && pc < len in
+        if not in_range then
+          M.Hazard.report state.log ~cycle:state.cycle
+            (M.Hazard.Fell_off_end
+               { fu = seq_fu model state ~leader ~last; addr = pc });
+        let row = if in_range then Program.row program pc else [||] in
+        ctrl.(k) <- (if in_range then row.(leader) else Parcel.halted);
+        for fu = leader to last do
+          if state.halted.(fu) then begin
+            was_live.(fu) <- false;
+            parcels.(fu) <- Parcel.halted
+          end
+          else begin
+            was_live.(fu) <- true;
+            parcels.(fu) <- (if in_range then row.(fu) else Parcel.halted);
+            hook_fetch state ~fu ~pc
+          end
+        done
+      end
+    done;
+    (* Branch-condition evaluation against start-of-cycle CC/SS, one
+       evaluation per sequencer. *)
+    for k = 0 to ns - 1 do
+      taken.(k) <-
+        str_live.(k)
+        &&
+        match ctrl.(k).control with
+        | Control.Halt -> false
+        | Control.Branch { cond; _ } ->
+          let leader, last = stream_bounds model ~n k in
+          Exec.eval_cond state ~fu:(seq_fu model state ~leader ~last) cond
+    done;
+    (* Data operations: every issuing FU executes; an idle slot is a
+       halted slot. *)
+    for fu = 0 to n - 1 do
+      if was_live.(fu) then Exec.exec_data state ~fu parcels.(fu).data
+      else stats.halted_slots <- stats.halted_slots + 1
+    done;
+    Exec.commit_cycle state;
+    (* Control commit: sync signals, next PCs, halts; spin and branch
+       statistics (charged once per sequencer). *)
+    let old_pcs = s.old_pcs in
+    Array.blit state.pcs 0 old_pcs 0 n;
+    for k = 0 to ns - 1 do
+      if str_live.(k) then begin
+        let leader, last = stream_bounds model ~n k in
+        match ctrl.(k).control with
+        | Control.Halt ->
+          for fu = leader to last do
+            if was_live.(fu) then halt_fu model state ~fu
+          done
+        | Control.Branch { cond; _ } as control ->
+          (match model with
+           | Global -> () (* sync signals have no architectural role *)
+           | Per_fu | Banked ->
+             for fu = leader to last do
+               if was_live.(fu) then set_ss state ~fu parcels.(fu).sync
+             done);
+          if not (Cond.is_unconditional cond) then
+            stats.cond_branches <- stats.cond_branches + 1;
+          let pc = old_pcs.(leader) in
+          (match Control.resolve control ~pc ~taken:taken.(k) with
+           | Some next ->
+             let spinning = next = pc && not (Cond.is_unconditional cond) in
+             if spinning then stats.spin_slots <- stats.spin_slots + 1;
+             for fu = leader to last do
+               state.pcs.(fu) <- next
+             done;
+             hook_control state ~fu:leader ~pc ~spinning
+               ~sync:(Cond.is_sync cond)
+           | None -> assert false)
+      end
+    done;
+    (* Partition recompute — the point where the models genuinely
+       diverge (paper Figure 3):
+       - per-FU sequencers group FUs by the normalised signatures of the
+         control operations they just executed (see {!Partition});
+       - the global sequencer's partition is fixed at the initial full
+         SSET;
+       - the banked machine groups by each bank's forthcoming address:
+         banks at the same PC next cycle merge, as in lock-step mode. *)
+    let live_streams =
+      match model with
+      | Global ->
+        if stats.max_streams < 1 then stats.max_streams <- 1;
+        if State.all_halted state then 0 else 1
+      | Per_fu ->
+        let sigs = s.sigs in
+        for fu = 0 to n - 1 do
+          sigs.(fu) <-
+            (if was_live.(fu) then
+               Control.normalised_signature parcels.(fu).control
+                 ~pc:old_pcs.(fu)
+             else Control.Halt)
+        done;
+        update_partition state n;
+        Partition.count_live state.partition ~halted:state.halted
+      | Banked ->
+        let sigs = s.sigs in
+        let half = n / 2 in
+        for fu = 0 to n - 1 do
+          let leader = if fu < half then 0 else half in
+          sigs.(fu) <-
+            (if state.halted.(leader) then Control.Halt
+             else
+               let pc = state.pcs.(leader) in
+               if pc >= 0 && pc < len then Control.goto pc else Control.Halt)
+        done;
+        update_partition state n;
+        Partition.count_live state.partition ~halted:state.halted
+    in
+    if live_streams > stats.max_streams then stats.max_streams <- live_streams;
+    hook_cycle_end state ~live_streams;
+    state.cycle <- state.cycle + 1;
+    stats.cycles <- state.cycle
+  end
+
+(* Model-specific structural requirements, checked by [run] (not [step],
+   matching the pre-unification simulators). *)
+let validate model (state : State.t) =
+  match model with
+  | Per_fu -> ()
+  | Global ->
+    if not (Program.control_consistent state.program) then
+      invalid_arg
+        "Vsim.run: program is not control-consistent (VLIW programs must \
+         duplicate the control fields in every parcel of a row)"
+  | Banked ->
+    let n = State.n_fus state in
+    if n < 2 || n mod 2 <> 0 then
+      invalid_arg "T500.run: the two-sequencer model needs an even FU count";
+    if not (bank_consistent state.program) then
+      invalid_arg
+        "T500.run: program is not bank-consistent (each bank has a single \
+         sequencer; XIMD programs with finer partitions cannot run)"
+
+let run model ?tracer ?watchdog (state : State.t) =
+  validate model state;
+  let fuel = state.config.max_cycles in
+  let rec loop () =
+    if State.all_halted state then begin
+      Exec.drain_pipeline state;
+      state.stats.cycles <- state.cycle;
+      Run.Halted { cycles = state.cycle }
+    end
+    else if state.cycle >= fuel then
+      Run.Fuel_exhausted { cycles = state.cycle }
+    else begin
+      step model ?tracer state;
+      match watchdog with
+      | Some w when Watchdog.observe w state ->
+        hook_watchdog state w;
+        Watchdog.deadlocked state
+      | Some _ | None -> loop ()
+    end
+  in
+  let outcome = loop () in
+  hook_finish state;
+  outcome

@@ -1,0 +1,72 @@
+(** The unified cycle engine: one pipeline, three sequencing models.
+
+    The paper's central structural claim is that a VLIW is the
+    degenerate case of an XIMD — one global sequencer versus one
+    sequencer per functional unit (§2, Figure 3) — with the proposed
+    Multiflow TRACE/500 (§1.4) sitting in between at exactly two.  This
+    module encodes the claim directly: {!Xsim}, {!Vsim} and {!T500} are
+    thin adapters that pass a {!model} to the same fetch → condition
+    evaluation → execute → commit pipeline, and the model parameter only
+    controls how FUs group into sequencer-led {e streams}:
+
+    {t
+      | {!model}   | streams            | leaders      | SS role | partition |
+      |------------|--------------------|--------------|---------|-----------|
+      | [Per_fu]   | one per FU         | the FU       | per-FU  | executed-signature groups |
+      | [Global]   | one, all FUs       | FU 0         | none    | fixed initial SSET |
+      | [Banked]   | two fixed halves   | FU 0, FU n/2 | per-FU  | banks merge at equal next PC |
+    }
+
+    Every cycle, each live stream's sequencer selects one instruction
+    row and evaluates one branch condition against start-of-cycle CC/SS
+    state; member FUs fetch and execute their own data parcels; all
+    results commit at end of cycle; then the sequencer installs the next
+    PC into every member (or halts them).  A live stream whose PC leaves
+    the program reports {!Ximd_machine.Hazard.Fell_off_end} attributed
+    to its sequencer's FU — for the global sequencer, the lowest FU
+    still issuing — and the stream halts.
+
+    Cross-cutting concerns (the {!Tracer}, the {!Ximd_obs.Sink}, the
+    {!Ximd_machine.Fault} injector, the {!Watchdog}) are threaded
+    through this one pipeline via inline hook helpers, each costing a
+    single predictable branch when off; no per-engine copy exists.
+
+    The hot loop is allocation-free: it works entirely in the
+    preallocated [state.scratch] buffers, and a steady-state cycle
+    allocates nothing beyond boxed ALU results and — only when the
+    control signatures changed — a fresh partition. *)
+
+type model =
+  | Per_fu  (** one sequencer per FU: the XIMD machine ({!Xsim}) *)
+  | Global  (** one global sequencer: the VLIW baseline ({!Vsim}) *)
+  | Banked
+      (** two sequencers over fixed FU halves: the TRACE/500
+          restriction ({!T500}) *)
+
+val n_streams : model -> n:int -> int
+(** Number of sequencer-led streams on an [n]-FU machine: [n], [1] and
+    [2] respectively. *)
+
+val stream_bounds : model -> n:int -> int -> int * int
+(** [stream_bounds model ~n k] is the contiguous FU range
+    [(leader, last)] of stream [k].  The leader's parcel carries the
+    stream's control fields. *)
+
+val bank_consistent : Program.t -> bool
+(** Whether every row's parcels agree with their bank leader's control
+    fields and sync signal — the structural restriction the [Banked]
+    model requires (re-exported as {!T500.bank_consistent}). *)
+
+val step : model -> ?tracer:Tracer.t -> State.t -> unit
+(** Executes one cycle under the given sequencing model (a no-op if all
+    FUs have halted).  When [tracer] is given, the start-of-cycle state
+    is recorded first. *)
+
+val run :
+  model -> ?tracer:Tracer.t -> ?watchdog:Watchdog.t -> State.t -> Run.outcome
+(** Steps until all FUs halt, the configured fuel runs out, or (when
+    [watchdog] is given) a deadlock is established — see {!Watchdog}.
+    Checks the model's structural requirements first:
+    @raise Invalid_argument under [Global] if the program is not
+    control-consistent, or under [Banked] if the FU count is odd or
+    below 2 or the program is not bank-consistent. *)

@@ -1,0 +1,22 @@
+type t = {
+  state : State.t;
+  model : Engine.model;
+  mutable runs : int;
+}
+
+let create ?config ?faults ?obs ~model program =
+  { state = State.create ?config ?faults ?obs program; model; runs = 0 }
+
+let state t = t.state
+let model t = t.model
+let runs t = t.runs
+
+(* Every run starts from the same point: rewind, apply the caller's
+   initialisation, go.  Resetting a freshly created state is a semantic
+   no-op, so the first run is indistinguishable from a run on a
+   one-shot state. *)
+let run ?tracer ?watchdog ?program ?setup t =
+  State.reset ?program t.state;
+  (match setup with None -> () | Some f -> f t.state);
+  t.runs <- t.runs + 1;
+  Engine.run t.model ?tracer ?watchdog t.state

@@ -8,6 +8,8 @@ type scratch = {
   sigs : Control.t array;
   prev_sigs : Control.t array;
   mutable prev_sigs_valid : bool;
+  str_live : bool array;
+  ctrl : Parcel.t array;
   cc_fu : int array;
   cc_val : bool array;
   mutable cc_len : int;
@@ -24,7 +26,9 @@ type inflight = {
 
 type t = {
   config : Config.t;
-  program : Program.t;
+  mutable program : Program.t;
+      (* mutable only for [reset ~program]: swapping in the next program
+         of a sweep without rebuilding the arenas *)
   regs : Ximd_machine.Regfile.t;
   mem : Ximd_machine.Memory.t;
   io : Ximd_machine.Ioport.t;
@@ -102,6 +106,8 @@ let create ?(config = Config.default) ?faults ?obs program =
         sigs = Array.make n Control.Halt;
         prev_sigs = Array.make n Control.Halt;
         prev_sigs_valid = false;
+        str_live = Array.make n false;
+        ctrl = Array.make n Parcel.halted;
         cc_fu = Array.make n 0;
         cc_val = Array.make n false;
         cc_len = 0 };
@@ -113,6 +119,42 @@ let create ?(config = Config.default) ?faults ?obs program =
          ifl_fu = Array.make cap 0;
          ifl_loc = Array.make cap 0;
          ifl_value = Array.make cap Value.zero }) }
+
+(* Rewind to the [create] state without reallocating any arena: the
+   register file, memory pages, scratch buffers and in-flight queue are
+   all reused in place.  The configuration is fixed for the lifetime of
+   the state — every arena is sized from it — so only the program may be
+   swapped. *)
+let reset ?program t =
+  let program =
+    match program with
+    | None -> t.program
+    | Some p ->
+      ensure_valid p t.config;
+      p
+  in
+  t.program <- program;
+  let n = t.config.n_fus in
+  Ximd_machine.Regfile.reset t.regs;
+  Ximd_machine.Memory.reset t.mem;
+  Ximd_machine.Ioport.reset t.io;
+  Ximd_machine.Hazard.clear t.log;
+  Stats.reset t.stats;
+  t.cycle <- 0;
+  Array.fill t.pcs 0 n 0;
+  Array.fill t.ccs 0 n None;
+  Array.fill t.sss 0 n Sync.Busy;
+  Array.fill t.halted 0 n false;
+  t.partition <- Partition.initial ~n;
+  t.scratch.prev_sigs_valid <- false;
+  t.scratch.cc_len <- 0;
+  t.inflight.ifl_len <- 0;
+  (match t.faults with
+   | None -> ()
+   | Some f -> Ximd_machine.Fault.reset f);
+  match t.obs with
+  | None -> ()
+  | Some sink -> Ximd_obs.Sink.reset sink
 
 let n_fus t = t.config.n_fus
 let all_halted t = Array.for_all Fun.id t.halted

@@ -25,6 +25,8 @@ type scratch = {
   prev_sigs : Control.t array;
       (** previous cycle's signatures, for partition reuse *)
   mutable prev_sigs_valid : bool;
+  str_live : bool array;     (** per-stream liveness ({!Engine}) *)
+  ctrl : Parcel.t array;     (** per-stream control parcels ({!Engine}) *)
   cc_fu : int array;         (** staged condition-code updates… *)
   cc_val : bool array;       (** …with their new values *)
   mutable cc_len : int;
@@ -45,7 +47,10 @@ type inflight = {
 
 type t = {
   config : Config.t;
-  program : Program.t;
+  mutable program : Program.t;
+      (** mutable only so {!reset} can swap in the next program of a
+          sweep; simulators treat it as fixed for the duration of a
+          run *)
   regs : Ximd_machine.Regfile.t;
   mem : Ximd_machine.Memory.t;
   io : Ximd_machine.Ioport.t;
@@ -82,6 +87,21 @@ val create :
     metrics into; omitted, the run is unobserved and pays nothing.
     @raise Invalid_argument if {!Program.validate} rejects the program
     under [config], or if [obs] was built for a different FU count. *)
+
+val reset : ?program:Program.t -> t -> unit
+(** Rewinds the state to cycle 0 — exactly the state {!create} would
+    build — without reallocating the register/memory/scratch arenas or
+    the in-flight queue, so repeated runs amortise construction (see
+    {!Session}).  [program] swaps in a different program for the next
+    run; omitted, the current program is kept.  The configuration (and
+    with it every arena size) is fixed for the lifetime of the state.
+
+    Registers, memory and I/O ports are zeroed/cleared: callers must
+    reapply their initialisation (a {!Session} re-runs its [setup]).
+    An attached fault session rewinds to replay the identical schedule;
+    an attached observability sink is {!Ximd_obs.Sink.reset}.
+    @raise Invalid_argument if {!Program.validate} rejects [program]
+    under the state's configuration. *)
 
 val n_fus : t -> int
 val all_halted : t -> bool

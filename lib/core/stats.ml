@@ -23,6 +23,21 @@ let create () =
 
 let copy t = { t with cycles = t.cycles }
 
+let reset t =
+  t.cycles <- 0;
+  t.data_ops <- 0;
+  t.nops <- 0;
+  t.halted_slots <- 0;
+  t.int_ops <- 0;
+  t.float_ops <- 0;
+  t.mem_ops <- 0;
+  t.io_ops <- 0;
+  t.cmp_ops <- 0;
+  t.cond_branches <- 0;
+  t.spin_slots <- 0;
+  t.max_streams <- 0;
+  t.commit_ops <- 0
+
 let utilisation t ~n_fus =
   if t.cycles = 0 then 0.
   else float_of_int t.data_ops /. float_of_int (t.cycles * n_fus)

@@ -28,6 +28,9 @@ type t = {
 val create : unit -> t
 val copy : t -> t
 
+val reset : t -> unit
+(** Zeroes every counter in place (for state reuse across runs). *)
+
 val utilisation : t -> n_fus:int -> float
 (** Raw fraction of FU-cycle slots that performed a (non-nop) data
     operation, [data_ops / (cycles * n_fus)].  A busy-waiting FU

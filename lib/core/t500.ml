@@ -1,183 +1,6 @@
-open Ximd_isa
-module M = Ximd_machine
+(* The Multiflow TRACE/500 model: the unified {!Engine} pipeline with
+   two sequencers over fixed FU banks (paper §1.4). *)
 
-let bank_bounds n = (0, n / 2)
-
-let bank_consistent program =
-  let n = Program.n_fus program in
-  let _, half = bank_bounds n in
-  let consistent_with leader row fu =
-    let (l : Parcel.t) = row.(leader) and (p : Parcel.t) = row.(fu) in
-    Control.equal p.control l.control && Sync.equal p.sync l.sync
-  in
-  let ok = ref true in
-  for addr = 0 to Program.length program - 1 do
-    let row = Program.row program addr in
-    for fu = 0 to n - 1 do
-      let leader = if fu < half then 0 else half in
-      if not (consistent_with leader row fu) then ok := false
-    done
-  done;
-  !ok
-
-(* Both banks advance each cycle; a bank whose leader has halted idles.
-   The leader's PC stands for its whole bank (all members share it). *)
-let step ?tracer (state : State.t) =
-  if State.all_halted state then ()
-  else begin
-    (match tracer with
-     | Some t -> Tracer.record t (Tracer.snapshot state)
-     | None -> ());
-    (match state.obs with
-     | None -> ()
-     | Some obs ->
-       Ximd_obs.Sink.on_partition obs ~cycle:state.cycle
-         ~ssets:(Partition.ssets state.partition));
-    (match state.faults with
-     | None -> ()
-     | Some f -> Exec.apply_faults state f);
-    let n = State.n_fus state in
-    let _, half = bank_bounds n in
-    let leaders = [ (0, half - 1); (half, n - 1) ] in
-    let stats = state.stats in
-    let bank_next = ref [] in
-    List.iter
-      (fun (leader, last) ->
-        if not state.halted.(leader) then begin
-          let pc = state.pcs.(leader) in
-          match Program.fetch state.program ~fu:leader ~addr:pc with
-          | None ->
-            M.Hazard.report state.log ~cycle:state.cycle
-              (M.Hazard.Fell_off_end { fu = leader; addr = pc });
-            bank_next := (leader, last, None) :: !bank_next
-          | Some (control_parcel : Parcel.t) ->
-            let taken =
-              match control_parcel.control with
-              | Control.Halt -> false
-              | Control.Branch { cond; _ } ->
-                Exec.eval_cond state ~fu:leader cond
-            in
-            for fu = leader to last do
-              (match state.obs with
-               | None -> ()
-               | Some obs ->
-                 Ximd_obs.Sink.on_fetch obs ~cycle:state.cycle ~fu ~pc);
-              match Program.fetch state.program ~fu ~addr:pc with
-              | Some parcel -> Exec.exec_data state ~fu parcel.data
-              | None -> ()
-            done;
-            (match control_parcel.control with
-             | Control.Halt -> bank_next := (leader, last, None) :: !bank_next
-             | Control.Branch { cond; _ } as control ->
-               if not (Cond.is_unconditional cond) then
-                 stats.cond_branches <- stats.cond_branches + 1;
-               (match Control.resolve control ~pc ~taken with
-                | Some next ->
-                  let spinning =
-                    next = pc && not (Cond.is_unconditional cond)
-                  in
-                  if spinning then stats.spin_slots <- stats.spin_slots + 1;
-                  (match state.obs with
-                   | None -> ()
-                   | Some obs ->
-                     Ximd_obs.Sink.on_control obs ~cycle:state.cycle
-                       ~fu:leader ~pc ~spinning ~sync:(Cond.is_sync cond));
-                  bank_next := (leader, last, Some next) :: !bank_next
-                | None -> assert false));
-            (* Sync signals: every member drives its parcel's value. *)
-            for fu = leader to last do
-              (match state.obs with
-               | None -> ()
-               | Some obs ->
-                 if not (Sync.equal state.sss.(fu) control_parcel.sync) then
-                   Ximd_obs.Sink.on_ss obs ~cycle:state.cycle ~fu
-                     ~to_done:(Sync.equal control_parcel.sync Sync.Done));
-              state.sss.(fu) <- control_parcel.sync
-            done
-        end
-        else stats.halted_slots <- stats.halted_slots + (last - leader + 1))
-      leaders;
-    Exec.commit_cycle state;
-    List.iter
-      (fun (leader, last, next) ->
-        match next with
-        | Some pc ->
-          for fu = leader to last do
-            state.pcs.(fu) <- pc
-          done
-        | None ->
-          for fu = leader to last do
-            (match state.obs with
-             | None -> ()
-             | Some obs ->
-               if not (Sync.equal state.sss.(fu) Sync.Done) then
-                 Ximd_obs.Sink.on_ss obs ~cycle:state.cycle ~fu ~to_done:true;
-               Ximd_obs.Sink.on_halt obs ~cycle:state.cycle ~fu);
-            state.halted.(fu) <- true;
-            state.sss.(fu) <- Sync.Done
-          done)
-      !bank_next;
-    (* The partition is at most the two banks. *)
-    let signatures =
-      Array.init n (fun fu ->
-        let leader = if fu < half then 0 else half in
-        if state.halted.(leader) then Control.Halt
-        else
-          match
-            Program.fetch state.program ~fu:leader
-              ~addr:state.pcs.(leader)
-          with
-          | Some _ -> Control.goto state.pcs.(leader)
-          | None -> Control.Halt)
-    in
-    (* Signature: "bank is at PC x next cycle" — banks at the same PC
-       running the same forthcoming control merge, as in lock-step
-       mode. *)
-    state.partition <- Partition.of_signatures signatures;
-    let live_streams =
-      Partition.count_live state.partition ~halted:state.halted
-    in
-    if live_streams > stats.max_streams then stats.max_streams <- live_streams;
-    (match state.obs with
-     | None -> ()
-     | Some obs ->
-       Ximd_obs.Sink.on_cycle_end obs ~cycle:state.cycle ~live_streams);
-    state.cycle <- state.cycle + 1;
-    stats.cycles <- state.cycle
-  end
-
-let run ?tracer ?watchdog (state : State.t) =
-  let n = State.n_fus state in
-  if n < 2 || n mod 2 <> 0 then
-    invalid_arg "T500.run: the two-sequencer model needs an even FU count";
-  if not (bank_consistent state.program) then
-    invalid_arg
-      "T500.run: program is not bank-consistent (each bank has a single \
-       sequencer; XIMD programs with finer partitions cannot run)";
-  let fuel = state.config.max_cycles in
-  let rec loop () =
-    if State.all_halted state then begin
-      Exec.drain_pipeline state;
-      state.stats.cycles <- state.cycle;
-      Run.Halted { cycles = state.cycle }
-    end
-    else if state.cycle >= fuel then
-      Run.Fuel_exhausted { cycles = state.cycle }
-    else begin
-      step ?tracer state;
-      match watchdog with
-      | Some w when Watchdog.observe w state ->
-        (match state.obs with
-         | None -> ()
-         | Some obs ->
-           Ximd_obs.Sink.on_watchdog obs ~cycle:state.cycle
-             ~quiet:(Watchdog.window w));
-        Watchdog.deadlocked state
-      | Some _ | None -> loop ()
-    end
-  in
-  let outcome = loop () in
-  (match state.obs with
-   | None -> ()
-   | Some obs -> Ximd_obs.Sink.finish obs ~cycle:state.cycle);
-  outcome
+let bank_consistent = Engine.bank_consistent
+let step ?tracer state = Engine.step Engine.Banked ?tracer state
+let run ?tracer ?watchdog state = Engine.run Engine.Banked ?tracer ?watchdog state

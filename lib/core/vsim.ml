@@ -1,117 +1,5 @@
-open Ximd_isa
-module M = Ximd_machine
+(* The VLIW baseline simulator: the unified {!Engine} pipeline with a
+   single global sequencer — the paper's degenerate case (§2). *)
 
-(* The whole machine halts together, so FU 0's halted flag stands for
-   all of them; State.create starts everything live and in one SSET. *)
-
-let halt_all (state : State.t) =
-  (match state.obs with
-   | None -> ()
-   | Some obs ->
-     for fu = 0 to State.n_fus state - 1 do
-       if not state.halted.(fu) then
-         Ximd_obs.Sink.on_halt obs ~cycle:state.cycle ~fu
-     done);
-  Array.fill state.halted 0 (State.n_fus state) true
-
-let step ?tracer (state : State.t) =
-  if State.all_halted state then ()
-  else begin
-    (match tracer with
-     | Some t -> Tracer.record t (Tracer.snapshot state)
-     | None -> ());
-    (match state.obs with
-     | None -> ()
-     | Some obs ->
-       Ximd_obs.Sink.on_partition obs ~cycle:state.cycle
-         ~ssets:(Partition.ssets state.partition));
-    (match state.faults with
-     | None -> ()
-     | Some f -> Exec.apply_faults state f);
-    let n = State.n_fus state in
-    let stats = state.stats in
-    let pc = state.pcs.(0) in
-    if pc < 0 || pc >= Program.length state.program then begin
-      M.Hazard.report state.log ~cycle:state.cycle
-        (M.Hazard.Fell_off_end { fu = 0; addr = pc });
-      halt_all state
-    end
-    else begin
-      let row = Program.row state.program pc in
-      let control = row.(0).control in
-      (* Branch evaluation first, against start-of-cycle state. *)
-      let taken =
-        match control with
-        | Control.Halt -> false
-        | Control.Branch { cond; _ } -> Exec.eval_cond state ~fu:0 cond
-      in
-      for fu = 0 to n - 1 do
-        (* an individually halted FU (a stuck-halt fault) issues
-           nothing; the global sequencer carries on without it *)
-        if not state.halted.(fu) then begin
-          (match state.obs with
-           | None -> ()
-           | Some obs -> Ximd_obs.Sink.on_fetch obs ~cycle:state.cycle ~fu ~pc);
-          Exec.exec_data state ~fu row.(fu).data
-        end
-      done;
-      Exec.commit_cycle state;
-      (match control with
-       | Control.Halt -> halt_all state
-       | Control.Branch { cond; _ } ->
-         if not (Cond.is_unconditional cond) then
-           stats.cond_branches <- stats.cond_branches + 1;
-         (match Control.resolve control ~pc ~taken with
-          | Some next ->
-            let spinning = next = pc && not (Cond.is_unconditional cond) in
-            if spinning then stats.spin_slots <- stats.spin_slots + 1;
-            Array.fill state.pcs 0 n next;
-            (match state.obs with
-             | None -> ()
-             | Some obs ->
-               Ximd_obs.Sink.on_control obs ~cycle:state.cycle ~fu:0 ~pc
-                 ~spinning ~sync:(Cond.is_sync cond))
-          | None -> assert false));
-      if stats.max_streams < 1 then stats.max_streams <- 1;
-      (match state.obs with
-       | None -> ()
-       | Some obs ->
-         Ximd_obs.Sink.on_cycle_end obs ~cycle:state.cycle
-           ~live_streams:(if State.all_halted state then 0 else 1));
-      state.cycle <- state.cycle + 1;
-      stats.cycles <- state.cycle
-    end
-  end
-
-let run ?tracer ?watchdog (state : State.t) =
-  if not (Program.control_consistent state.program) then
-    invalid_arg
-      "Vsim.run: program is not control-consistent (VLIW programs must \
-       duplicate the control fields in every parcel of a row)";
-  let fuel = state.config.max_cycles in
-  let rec loop () =
-    if State.all_halted state then begin
-      Exec.drain_pipeline state;
-      state.stats.cycles <- state.cycle;
-      Run.Halted { cycles = state.cycle }
-    end
-    else if state.cycle >= fuel then
-      Run.Fuel_exhausted { cycles = state.cycle }
-    else begin
-      step ?tracer state;
-      match watchdog with
-      | Some w when Watchdog.observe w state ->
-        (match state.obs with
-         | None -> ()
-         | Some obs ->
-           Ximd_obs.Sink.on_watchdog obs ~cycle:state.cycle
-             ~quiet:(Watchdog.window w));
-        Watchdog.deadlocked state
-      | Some _ | None -> loop ()
-    end
-  in
-  let outcome = loop () in
-  (match state.obs with
-   | None -> ()
-   | Some obs -> Ximd_obs.Sink.finish obs ~cycle:state.cycle);
-  outcome
+let step ?tracer state = Engine.step Engine.Global ?tracer state
+let run ?tracer ?watchdog state = Engine.run Engine.Global ?tracer ?watchdog state

@@ -1,166 +1,5 @@
-open Ximd_isa
-module M = Ximd_machine
+(* The XIMD simulator: the unified {!Engine} pipeline with one
+   sequencer per functional unit (paper §4.1). *)
 
-(* One cycle of the XIMD machine.  All reads observe start-of-cycle
-   state; all writes commit at the end (paper §2.2, verified against the
-   Figure 10 trace — see DESIGN.md §5).
-
-   The loop works entirely in the preallocated [state.scratch] buffers:
-   a steady-state cycle allocates nothing beyond the boxed ALU results
-   and, when the control signatures changed, a fresh partition. *)
-
-let rec sigs_equal (a : Control.t array) b fu n =
-  fu >= n || (Control.equal a.(fu) b.(fu) && sigs_equal a b (fu + 1) n)
-
-let step ?tracer (state : State.t) =
-  if State.all_halted state then ()
-  else begin
-    (match tracer with
-     | Some t -> Tracer.record t (Tracer.snapshot state)
-     | None -> ());
-    (match state.obs with
-     | None -> ()
-     | Some obs ->
-       (* same timing as the tracer snapshot: the partition in effect at
-          the top of the cycle, before faults land *)
-       Ximd_obs.Sink.on_partition obs ~cycle:state.cycle
-         ~ssets:(Partition.ssets state.partition));
-    (match state.faults with
-     | None -> ()
-     | Some f -> Exec.apply_faults state f);
-    let n = State.n_fus state in
-    let stats = state.stats in
-    let s = state.scratch in
-    let parcels = s.parcels
-    and was_live = s.was_live
-    and taken = s.taken in
-    let program = state.program in
-    let len = Program.length program in
-    (* Fetch.  A live FU whose PC is outside the program has fallen off
-       the end: report and treat as a halt parcel. *)
-    for fu = 0 to n - 1 do
-      was_live.(fu) <- not state.halted.(fu);
-      if state.halted.(fu) then parcels.(fu) <- Parcel.halted
-      else begin
-        let pc = state.pcs.(fu) in
-        if pc >= 0 && pc < len then parcels.(fu) <- (Program.row program pc).(fu)
-        else begin
-          M.Hazard.report state.log ~cycle:state.cycle
-            (M.Hazard.Fell_off_end { fu; addr = pc });
-          parcels.(fu) <- Parcel.halted
-        end;
-        match state.obs with
-        | None -> ()
-        | Some obs -> Ximd_obs.Sink.on_fetch obs ~cycle:state.cycle ~fu ~pc
-      end
-    done;
-    (* Branch-condition evaluation against start-of-cycle CC/SS. *)
-    for fu = 0 to n - 1 do
-      taken.(fu) <-
-        was_live.(fu)
-        &&
-        match parcels.(fu).control with
-        | Control.Halt -> false
-        | Control.Branch { cond; _ } -> Exec.eval_cond state ~fu cond
-    done;
-    (* Data operations. *)
-    for fu = 0 to n - 1 do
-      if was_live.(fu) then Exec.exec_data state ~fu parcels.(fu).data
-      else stats.halted_slots <- stats.halted_slots + 1
-    done;
-    Exec.commit_cycle state;
-    (* Control commit: sync signals, next PCs, halts; spin and branch
-       statistics. *)
-    let old_pcs = s.old_pcs in
-    Array.blit state.pcs 0 old_pcs 0 n;
-    for fu = 0 to n - 1 do
-      if was_live.(fu) then begin
-        match parcels.(fu).control with
-        | Control.Halt ->
-          let old_ss = state.sss.(fu) in
-          state.halted.(fu) <- true;
-          (* A finished stream reads as DONE (DESIGN.md §5). *)
-          state.sss.(fu) <- Sync.Done;
-          (match state.obs with
-           | None -> ()
-           | Some obs ->
-             if not (Sync.equal old_ss Sync.Done) then
-               Ximd_obs.Sink.on_ss obs ~cycle:state.cycle ~fu ~to_done:true;
-             Ximd_obs.Sink.on_halt obs ~cycle:state.cycle ~fu)
-        | Control.Branch { cond; _ } as control ->
-          let old_ss = state.sss.(fu) in
-          state.sss.(fu) <- parcels.(fu).sync;
-          if not (Cond.is_unconditional cond) then
-            stats.cond_branches <- stats.cond_branches + 1;
-          let pc = state.pcs.(fu) in
-          (match Control.resolve control ~pc ~taken:taken.(fu) with
-           | Some next ->
-             let spinning = next = pc && not (Cond.is_unconditional cond) in
-             if spinning then stats.spin_slots <- stats.spin_slots + 1;
-             state.pcs.(fu) <- next;
-             (match state.obs with
-              | None -> ()
-              | Some obs ->
-                if not (Sync.equal old_ss parcels.(fu).sync) then
-                  Ximd_obs.Sink.on_ss obs ~cycle:state.cycle ~fu
-                    ~to_done:(Sync.equal parcels.(fu).sync Sync.Done);
-                Ximd_obs.Sink.on_control obs ~cycle:state.cycle ~fu ~pc
-                  ~spinning ~sync:(Cond.is_sync cond))
-           | None -> assert false)
-      end
-    done;
-    (* Partition update from the executed control signatures.  Spin
-       loops re-execute the same signatures for many cycles, so reuse
-       the previous partition when nothing changed. *)
-    let sigs = s.sigs in
-    for fu = 0 to n - 1 do
-      sigs.(fu) <-
-        (if was_live.(fu) then
-           Control.normalised_signature parcels.(fu).control ~pc:old_pcs.(fu)
-         else Control.Halt)
-    done;
-    if not (s.prev_sigs_valid && sigs_equal sigs s.prev_sigs 0 n) then begin
-      state.partition <- Partition.of_signatures sigs;
-      Array.blit sigs 0 s.prev_sigs 0 n;
-      s.prev_sigs_valid <- true
-    end;
-    let live_streams =
-      Partition.count_live state.partition ~halted:state.halted
-    in
-    if live_streams > stats.max_streams then stats.max_streams <- live_streams;
-    (match state.obs with
-     | None -> ()
-     | Some obs ->
-       Ximd_obs.Sink.on_cycle_end obs ~cycle:state.cycle ~live_streams);
-    state.cycle <- state.cycle + 1;
-    stats.cycles <- state.cycle
-  end
-
-let run ?tracer ?watchdog (state : State.t) =
-  let fuel = state.config.max_cycles in
-  let rec loop () =
-    if State.all_halted state then begin
-      Exec.drain_pipeline state;
-      state.stats.cycles <- state.cycle;
-      Run.Halted { cycles = state.cycle }
-    end
-    else if state.cycle >= fuel then
-      Run.Fuel_exhausted { cycles = state.cycle }
-    else begin
-      step ?tracer state;
-      match watchdog with
-      | Some w when Watchdog.observe w state ->
-        (match state.obs with
-         | None -> ()
-         | Some obs ->
-           Ximd_obs.Sink.on_watchdog obs ~cycle:state.cycle
-             ~quiet:(Watchdog.window w));
-        Watchdog.deadlocked state
-      | Some _ | None -> loop ()
-    end
-  in
-  let outcome = loop () in
-  (match state.obs with
-   | None -> ()
-   | Some obs -> Ximd_obs.Sink.finish obs ~cycle:state.cycle);
-  outcome
+let step ?tracer state = Engine.step Engine.Per_fu ?tracer state
+let run ?tracer ?watchdog state = Engine.run Engine.Per_fu ?tracer ?watchdog state

@@ -41,6 +41,12 @@ let fired t = List.rev t.fired
 let fired_rev t = t.fired
 let remaining t = Array.length t.events - t.cursor
 
+let reset t =
+  t.cursor <- 0;
+  t.drop_mask <- 0;
+  t.dup_mask <- 0;
+  t.fired <- []
+
 let kind_name = function
   | Flip_ss -> "ss"
   | Flip_cc -> "cc"

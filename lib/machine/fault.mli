@@ -72,6 +72,12 @@ val fired_rev : t -> event list
 val remaining : t -> int
 (** Events not yet fired. *)
 
+val reset : t -> unit
+(** Rewinds the session to its {!create} state: the schedule cursor
+    returns to the first event, the per-cycle write masks disarm and the
+    fired log empties, so a reused state replays the identical fault
+    schedule. *)
+
 val kind_name : kind -> string
 val pp_event : Format.formatter -> event -> unit
 val event_to_string : event -> string

@@ -33,6 +33,10 @@ let events log = List.rev log.events
 let count log = log.count
 let policy log = log.policy
 
+let clear log =
+  log.events <- [];
+  log.count <- 0
+
 let pp_fus fmt fus =
   Format.fprintf fmt "FUs %s" (String.concat "," (List.map string_of_int fus))
 

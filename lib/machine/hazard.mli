@@ -37,6 +37,11 @@ val events : log -> event list
 
 val count : log -> int
 val policy : log -> policy
+
+val clear : log -> unit
+(** Empties the log (the policy is retained) — for state reuse across
+    runs. *)
+
 val pp : Format.formatter -> t -> unit
 val pp_event : Format.formatter -> event -> unit
 val to_string : t -> string

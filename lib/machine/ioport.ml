@@ -60,6 +60,14 @@ let write t ~fu ~cycle ~log port_no value =
     Hazard.report log ~cycle (Hazard.Port_out_of_range { port = port_no; fu })
   else t.(port_no).written <- (cycle, value) :: t.(port_no).written
 
+let reset t =
+  Array.iter
+    (fun port ->
+      port.input <- [];
+      port.last_consumed <- 0;
+      port.written <- [])
+    t
+
 let output t ~port =
   check t port "output";
   List.rev t.(port).written

@@ -44,6 +44,12 @@ val read : t -> fu:int -> cycle:int -> log:Hazard.log -> int -> Value.t
 
 val write : t -> fu:int -> cycle:int -> log:Hazard.log -> int -> Value.t -> unit
 
+val reset : t -> unit
+(** Rewinds every port to the {!create} state: input scripts, consumption
+    times and write logs are cleared.  Callers reusing a state must
+    re-{!script} their ports afterwards (a consumed script cannot be
+    rewound in place). *)
+
 val output : t -> port:int -> (int * Value.t) list
 (** The write log for [port], in write order, as (cycle, value) pairs.
     @raise Invalid_argument if [port] is out of range. *)

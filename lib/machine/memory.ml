@@ -146,6 +146,15 @@ let commit t ~cycle ~log =
 
 let staged_count t = t.st_len
 
+(* Rewind to the [create] state.  Allocated pages are zeroed in place
+   rather than dropped: a reused state keeps its working-set arenas. *)
+let reset t =
+  Array.iter
+    (fun page ->
+      if page != no_page then Array.fill page 0 page_size Value.zero)
+    t.pages;
+  t.st_len <- 0
+
 let check_bounds t addr what =
   if addr < 0 || addr >= t.words then
     invalid_arg (Printf.sprintf "Memory.%s: address %d out of bounds" what addr)

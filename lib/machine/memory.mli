@@ -44,6 +44,11 @@ val commit : t -> cycle:int -> log:Hazard.log -> unit
 val staged_count : t -> int
 (** Number of stores currently staged (and not yet committed). *)
 
+val reset : t -> unit
+(** Rewinds to the {!create} state — all words zero, the stage empty.
+    Pages already allocated are zeroed in place rather than freed, so a
+    reused state keeps its working-set arenas warm. *)
+
 val set : t -> int -> Value.t -> unit
 (** Direct write for initialisation; bounds-checked, raises
     [Invalid_argument]. *)

@@ -96,6 +96,13 @@ let commit t ~cycle ~log =
 
 let staged_count t = t.n_staged
 
+(* Rewind to the [create] state without reallocating the arrays. *)
+let reset t =
+  Array.fill t.values 0 (Array.length t.values) Value.zero;
+  clear_from t 0 t.n_dirty;
+  t.n_dirty <- 0;
+  t.n_staged <- 0
+
 let set t r value = t.values.(Reg.index r) <- value
 
 let dump t = Array.copy t.values

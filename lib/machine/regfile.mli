@@ -35,6 +35,11 @@ val commit : t -> cycle:int -> log:Hazard.log -> unit
 val staged_count : t -> int
 (** Number of currently staged writes (for port-pressure statistics). *)
 
+val reset : t -> unit
+(** Rewinds to the {!create} state — all registers zero, the stage
+    empty — without reallocating the backing arrays (for state reuse
+    across runs, see {!Ximd_core.State.reset}). *)
+
 val set : t -> Reg.t -> Value.t -> unit
 (** Direct write, bypassing staging.  For initialisation and tests. *)
 

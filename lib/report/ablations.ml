@@ -248,15 +248,22 @@ let a6_pipelined_codegen fmt =
                [ (400 + i, Value.of_int (i + 1));
                  (500 + i, Value.of_int ((2 * i) - 3)) ]))
         in
+        (* The pipelined and rolled codings run on one session — same
+           machine shape, programs swapped in by State.reset. *)
+        let config =
+          Ximd_core.Config.make ~n_fus:width ~max_cycles:100_000 ()
+        in
+        let session =
+          Ximd_core.Session.create ~config ~model:Ximd_core.Engine.Per_fu
+            k.program
+        in
         let run_prog program trip_reg extra_init =
-          let config =
-            Ximd_core.Config.make ~n_fus:width ~max_cycles:100_000 ()
+          let setup (state : Ximd_core.State.t) =
+            Ximd_machine.Regfile.set state.regs trip_reg (Value.of_int trip);
+            extra_init state;
+            List.iter (fun (a, v) -> Ximd_core.State.mem_set state a v) mem
           in
-          let state = Ximd_core.State.create ~config program in
-          Ximd_machine.Regfile.set state.regs trip_reg (Value.of_int trip);
-          extra_init state;
-          List.iter (fun (a, v) -> Ximd_core.State.mem_set state a v) mem;
-          match Ximd_core.Xsim.run state with
+          match Ximd_core.Session.run ~program ~setup session with
           | Ximd_core.Run.Halted { cycles } -> Some cycles
           | Ximd_core.Run.Fuel_exhausted _ | Ximd_core.Run.Deadlocked _ ->
             None

@@ -17,15 +17,21 @@ type t = {
   vliw : variant option;
 }
 
+let model = function Ximd -> Engine.Per_fu | Vliw -> Engine.Global
+
+let session ?obs variant =
+  Session.create ~config:variant.config ?obs ~model:(model variant.sim)
+    variant.program
+
+let run_session ?tracer ?watchdog session (variant : variant) =
+  Session.run ?tracer ?watchdog ~setup:variant.setup session
+
+(* One-shot run: a session used once behaves exactly like the historical
+   create/setup/run sequence. *)
 let run ?tracer ?watchdog ?obs variant =
-  let state = State.create ~config:variant.config ?obs variant.program in
-  variant.setup state;
-  let outcome =
-    match variant.sim with
-    | Ximd -> Xsim.run ?tracer ?watchdog state
-    | Vliw -> Vsim.run ?tracer ?watchdog state
-  in
-  (outcome, state)
+  let s = session ?obs variant in
+  let outcome = run_session ?tracer ?watchdog s variant in
+  (outcome, Session.state s)
 
 let run_checked ?tracer ?watchdog ?obs variant =
   let outcome, state = run ?tracer ?watchdog ?obs variant in

@@ -1,0 +1,202 @@
+(* Session-reuse and engine-unification tests: State.reset must be
+   indistinguishable from a fresh state, Session.run must support
+   program swapping, and hazard attribution must agree across the
+   sequencing models now that one engine drives all three. *)
+
+open Ximd_isa
+module B = Ximd_asm.Builder
+
+(* --- Hazard attribution across sequencing models ----------------------- *)
+
+(* Two fall-through rows under the prototype sequencer: the machine
+   walks off the end at address 2.  Control-consistent, so it is a legal
+   VLIW program. *)
+let falling_program ~n_fus =
+  let t = B.create ~n_fus in
+  B.row t ~ctl:B.fallthrough [];
+  B.row t ~ctl:B.fallthrough [];
+  B.build t
+
+let falling_config ~n_fus =
+  Ximd_core.Config.make ~n_fus ~sequencer:Ximd_core.Config.Prototype
+    ~hazard_policy:Ximd_machine.Hazard.Record ~max_cycles:100 ()
+
+(* The historical vsim reported Fell_off_end with [fu = 0]
+   unconditionally.  The unified engine attributes the hazard to the
+   sequencing FU — the lowest live member of the single stream — so a
+   stuck-halt fault on FU 0 must shift the attribution to FU 1. *)
+let test_vsim_fell_off_end_attribution () =
+  let program = falling_program ~n_fus:2 in
+  let faults =
+    Ximd_machine.Fault.create
+      [ { at = 0; kind = Ximd_machine.Fault.Stuck_halt; target = 0 } ]
+  in
+  let state =
+    Ximd_core.State.create ~config:(falling_config ~n_fus:2) ~faults program
+  in
+  let outcome = Ximd_core.Vsim.run state in
+  Alcotest.(check bool) "completed" true (Ximd_core.Run.completed outcome);
+  match Ximd_core.State.hazards state with
+  | [ { hazard = Ximd_machine.Hazard.Fell_off_end { fu = 1; addr = 2 }; _ } ]
+    -> ()
+  | [ { hazard = Ximd_machine.Hazard.Fell_off_end { fu; addr }; _ } ] ->
+    Alcotest.failf "expected Fell_off_end on FU 1 at 2, got FU %d at %d" fu
+      addr
+  | hs -> Alcotest.failf "expected one Fell_off_end, got %d events"
+            (List.length hs)
+
+(* Fault-free, the sequencing FU of the global stream is FU 0. *)
+let test_vsim_fell_off_end_fault_free () =
+  let program = falling_program ~n_fus:2 in
+  let state =
+    Ximd_core.State.create ~config:(falling_config ~n_fus:2) program
+  in
+  let outcome = Ximd_core.Vsim.run state in
+  Alcotest.(check bool) "completed" true (Ximd_core.Run.completed outcome);
+  match Ximd_core.State.hazards state with
+  | [ { hazard = Ximd_machine.Hazard.Fell_off_end { fu = 0; addr = 2 }; _ } ]
+    -> ()
+  | _ -> Alcotest.fail "expected one Fell_off_end on FU 0 at address 2"
+
+(* --- Session basics ---------------------------------------------------- *)
+
+let prog_store ~value ~reg =
+  let t = B.create ~n_fus:1 in
+  B.row t ~ctl:B.halt [ B.d (B.iadd (B.imm value) (B.imm 0) reg) ];
+  B.build t
+
+let narrow_config = Ximd_core.Config.make ~n_fus:1 ()
+
+let test_session_program_swap () =
+  let r1 = Reg.make 1 and r2 = Reg.make 2 in
+  let prog_a = prog_store ~value:41 ~reg:r1 in
+  let prog_b = prog_store ~value:7 ~reg:r2 in
+  let session =
+    Ximd_core.Session.create ~config:narrow_config
+      ~model:Ximd_core.Engine.Per_fu prog_a
+  in
+  let state = Ximd_core.Session.state session in
+  let outcome = Ximd_core.Session.run session in
+  Alcotest.(check bool) "a completed" true (Ximd_core.Run.completed outcome);
+  Alcotest.(check int) "a wrote r1" 41
+    (Value.to_int (Ximd_machine.Regfile.read state.regs r1));
+  (* Swapping the program rewinds the arenas: r1 must be back to zero
+     after running b, which never touches it. *)
+  let outcome = Ximd_core.Session.run ~program:prog_b session in
+  Alcotest.(check bool) "b completed" true (Ximd_core.Run.completed outcome);
+  Alcotest.(check int) "b wrote r2" 7
+    (Value.to_int (Ximd_machine.Regfile.read state.regs r2));
+  Alcotest.(check int) "r1 rewound" 0
+    (Value.to_int (Ximd_machine.Regfile.read state.regs r1));
+  Alcotest.(check int) "runs counted" 2 (Ximd_core.Session.runs session)
+
+(* A swapped-in program is validated against the session's fixed
+   config, exactly like State.create would. *)
+let test_session_swap_validates () =
+  let prog_a = prog_store ~value:1 ~reg:(Reg.make 1) in
+  let wide =
+    let t = B.create ~n_fus:2 in
+    B.halt_row t;
+    B.build t
+  in
+  let session =
+    Ximd_core.Session.create ~config:narrow_config
+      ~model:Ximd_core.Engine.Per_fu prog_a
+  in
+  match Ximd_core.Session.run ~program:wide session with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument for mismatched n_fus"
+
+(* The setup hook runs after the rewind, before the run — so register
+   initialisation survives on every iteration, not just the first. *)
+let test_session_setup_reapplied () =
+  let r1 = Reg.make 1 and r2 = Reg.make 2 in
+  let program =
+    let t = B.create ~n_fus:1 in
+    B.row t ~ctl:B.halt [ B.d (B.iadd (B.rop r1) (B.imm 1) r2) ];
+    B.build t
+  in
+  let session =
+    Ximd_core.Session.create ~config:narrow_config
+      ~model:Ximd_core.Engine.Per_fu program
+  in
+  let state = Ximd_core.Session.state session in
+  let setup (state : Ximd_core.State.t) =
+    Ximd_machine.Regfile.set state.regs r1 (Value.of_int 10)
+  in
+  for _ = 1 to 3 do
+    let outcome = Ximd_core.Session.run ~setup session in
+    Alcotest.(check bool) "completed" true
+      (Ximd_core.Run.completed outcome);
+    Alcotest.(check int) "r2 = r1 + 1" 11
+      (Value.to_int (Ximd_machine.Regfile.read state.regs r2))
+  done
+
+(* --- Reset indistinguishability (property) ----------------------------- *)
+
+(* Everything a run can surface, rendered to strings so polymorphic
+   equality gives a readable counterexample: outcome, statistics, the
+   register file, the Figure-10 trace and the hazard log. *)
+let snapshot (state : Ximd_core.State.t) outcome tracer =
+  let render pp v = Format.asprintf "%a" pp v in
+  ( (match outcome with
+     | Ok o -> render Ximd_core.Run.pp o
+     | Error e -> "raised: " ^ e),
+    render Ximd_core.Stats.pp state.stats,
+    Array.to_list
+      (Array.map (render Value.pp) (Ximd_machine.Regfile.dump state.regs)),
+    render (Ximd_core.Tracer.pp_figure10 ?comments:None) tracer,
+    List.map (render Ximd_machine.Hazard.pp_event)
+      (Ximd_core.State.hazards state) )
+
+let prop_session_reset_indistinguishable =
+  QCheck2.Test.make ~count:100
+    ~name:"session rerun after reset = fresh-state run"
+    Tprops.gen_valid_program (fun program ->
+      let n_fus = Ximd_core.Program.n_fus program in
+      let config =
+        Ximd_core.Config.make ~n_fus ~max_cycles:200
+          ~hazard_policy:Ximd_machine.Hazard.Record ()
+      in
+      let observe state run =
+        let tracer = Ximd_core.Tracer.create () in
+        let outcome =
+          try Ok (run tracer) with e -> Error (Printexc.to_string e)
+        in
+        snapshot state outcome tracer
+      in
+      let fresh_state = Ximd_core.State.create ~config program in
+      let fresh =
+        observe fresh_state (fun tracer ->
+            Ximd_core.Xsim.run ~tracer fresh_state)
+      in
+      let session =
+        Ximd_core.Session.create ~config ~model:Ximd_core.Engine.Per_fu
+          program
+      in
+      (* Dirty every arena with a throwaway run (it may raise under a
+         recorded hazard policy; the rewind must cope either way), then
+         rerun: Session.run rewinds first, so the second run must be
+         indistinguishable from the fresh one. *)
+      (try ignore (Ximd_core.Session.run session) with _ -> ());
+      let reused =
+        observe
+          (Ximd_core.Session.state session)
+          (fun tracer -> Ximd_core.Session.run ~tracer session)
+      in
+      fresh = reused)
+
+let suite =
+  [ ( "session",
+      [ Alcotest.test_case "vsim fell-off-end attribution under faults"
+          `Quick test_vsim_fell_off_end_attribution;
+        Alcotest.test_case "vsim fell-off-end attribution fault-free"
+          `Quick test_vsim_fell_off_end_fault_free;
+        Alcotest.test_case "program swap rewinds arenas" `Quick
+          test_session_program_swap;
+        Alcotest.test_case "program swap validates against config" `Quick
+          test_session_swap_validates;
+        Alcotest.test_case "setup hook reapplied every run" `Quick
+          test_session_setup_reapplied;
+        QCheck_alcotest.to_alcotest prop_session_reset_indistinguishable ] )
+  ]

@@ -48,16 +48,20 @@ let () =
     (Obs.Sink.timeline sink);
   Format.printf "%a@." Obs.Sink.pp_summary sink;
   (* Observation cost: same run with the sink off, on, and metrics-only
-     (no event ring, no profile matrix). *)
-  time "run (no sink)" 2000 (fun () -> ignore (W.Workload.run v));
+     (no event ring, no profile matrix).  Each configuration reuses one
+     session, so the numbers isolate the per-cycle cost from state
+     construction; Session.run resets the attached sink itself. *)
+  let plain = W.Workload.session v in
+  time "run (no sink)" 2000 (fun () ->
+    ignore (W.Workload.run_session plain v));
+  let observed = W.Workload.session ~obs:sink v in
   time "run (sink on)" 2000 (fun () ->
-    Obs.Sink.reset sink;
-    ignore (W.Workload.run ~obs:sink v));
+    ignore (W.Workload.run_session observed v));
   let lean =
     Obs.Sink.create ~trace:false ~profile:false ~n_fus:v.config.n_fus
       ~code_len:(Ximd_core.Program.length program)
       ()
   in
+  let lean_session = W.Workload.session ~obs:lean v in
   time "run (metrics only)" 2000 (fun () ->
-    Obs.Sink.reset lean;
-    ignore (W.Workload.run ~obs:lean v))
+    ignore (W.Workload.run_session lean_session v))
