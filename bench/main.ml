@@ -60,13 +60,15 @@ let workload_tests ?(filter = []) () =
   in
   List.concat_map per_workload (selected_workloads filter)
 
-let minmax_ximd () =
+let minmax_workload () =
   match
     List.find_opt (fun (w : W.Workload.t) -> w.name = "minmax")
       (W.Suite.all ())
   with
-  | Some w -> w.ximd
+  | Some w -> w
   | None -> failwith "bench: minmax workload missing"
+
+let minmax_ximd () = (minmax_workload ()).ximd
 
 let run_session session variant =
   match W.Workload.run_session session variant with
@@ -104,8 +106,8 @@ let obs_tests ?(filter = []) () =
     let code_len = Ximd_core.Program.length v.program in
     let sink = Ximd_obs.Sink.create ~n_fus:v.config.n_fus ~code_len () in
     let lean =
-      Ximd_obs.Sink.create ~trace:false ~profile:false ~n_fus:v.config.n_fus
-        ~code_len ()
+      Ximd_obs.Sink.create ~trace:false ~profile:false ~account:false
+        ~n_fus:v.config.n_fus ~code_len ()
     in
     let observed = W.Workload.session ~obs:sink v in
     let lean_session = W.Workload.session ~obs:lean v in
@@ -113,6 +115,31 @@ let obs_tests ?(filter = []) () =
         (Staged.stage (fun () -> run_session observed v));
       Test.make ~name:"minmax/xsim+obs-lean"
         (Staged.stage (fun () -> run_session lean_session v)) ]
+  end
+
+(* Why-analysis overhead: the --account CLI configuration (metrics +
+   per-slot cycle accounting, no ring/profile) on a reused session, and
+   the full --compare report (two fresh accounting runs, one per
+   sequencing model, per iteration). *)
+let why_tests ?(filter = []) () =
+  let open Bechamel in
+  if filter <> [] && not (List.mem "minmax" filter) then []
+  else begin
+    let w = minmax_workload () in
+    let v = w.ximd in
+    let code_len = Ximd_core.Program.length v.program in
+    let acct =
+      Ximd_obs.Sink.create ~trace:false ~profile:false ~n_fus:v.config.n_fus
+        ~code_len ()
+    in
+    let session = W.Workload.session ~obs:acct v in
+    [ Test.make ~name:"minmax/xsim+account"
+        (Staged.stage (fun () -> run_session session v));
+      Test.make ~name:"minmax/xsim-compare"
+        (Staged.stage (fun () ->
+           match Ximd_report.Compare.of_workload w with
+           | Ok _ -> ()
+           | Error e -> failwith e)) ]
   end
 
 let infra_tests () =
@@ -191,6 +218,7 @@ let run_micro ?(filter = []) () =
     workload_tests ~filter ()
     @ session_tests ~filter ()
     @ obs_tests ~filter ()
+    @ why_tests ~filter ()
     @ (if filter = [] then infra_tests () else [])
   in
   List.iter
@@ -216,12 +244,21 @@ let run_json ?(filter = []) () =
           [ (w.name ^ "/xsim", w.name, "xsim", run_variant w.ximd) ]
         in
         let entries =
-          (* the session-reuse row retires the same cycles as the plain
-             xsim row; only the per-run cost differs *)
+          (* the session-reuse and accounting rows retire the same
+             cycles as the plain xsim row; only the per-run cost
+             differs.  The compare row simulates both codings, so it
+             retires the sum. *)
           if w.name = "minmax" then
             entries
             @ [ (w.name ^ "/xsim-session", w.name, "xsim-session",
-                 run_variant w.ximd) ]
+                 run_variant w.ximd);
+                (w.name ^ "/xsim+account", w.name, "xsim+account",
+                 run_variant w.ximd);
+                (w.name ^ "/xsim-compare", w.name, "xsim-compare",
+                 run_variant w.ximd
+                 + match w.vliw with
+                   | Some vliw -> run_variant vliw
+                   | None -> 0) ]
           else entries
         in
         match w.vliw with
@@ -231,7 +268,9 @@ let run_json ?(filter = []) () =
       workloads
   in
   let estimates =
-    measure_tests (workload_tests ~filter () @ session_tests ~filter ())
+    measure_tests
+      (workload_tests ~filter () @ session_tests ~filter ()
+       @ why_tests ~filter ())
   in
   let oc = open_out bench_json_file in
   let first = ref true in

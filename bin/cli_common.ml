@@ -153,6 +153,60 @@ let timeline_flag =
               observability summary (per-FU utilisation, spin streaks, \
               barrier waits).")
 
+let account_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "account" ] ~docv:"FILE"
+        ~doc:"Classify every fu-times-cycle slot of the run (commit, nop \
+              padding, SS/CC spin, barrier wait, squashed, fault lost, \
+              halted) and write the accounting as JSON (schema \
+              ximd-account/1) to $(docv) ($(b,-) for stdout).  Unless \
+              $(docv) is $(b,-), the human table is also printed.")
+
+let critical_path_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "critical-path" ] ~docv:"FILE"
+        ~doc:"Reconstruct the run's dynamic dependence graph (register \
+              def-use, SS producer-consumer, barrier and sequencer \
+              edges), compute its critical path — the cycle count an \
+              ideal machine with the same latencies needs — and write \
+              the report as JSON (schema ximd-critpath/1) to $(docv) \
+              ($(b,-) for stdout).  Unless $(docv) is $(b,-), the human \
+              summary is also printed.")
+
+let profile_folded_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile-folded" ] ~docv:"FILE"
+        ~doc:"Write the hot-PC profile as folded stacks \
+              ($(b,fuN;label count) lines) to $(docv) ($(b,-) for \
+              stdout), ready for flamegraph.pl or speedscope.")
+
+let compare_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "compare" ] ~docv:"VLIW_FILE"
+        ~doc:"Differential XIMD-vs-VLIW report: run FILE under per-FU \
+              sequencers and $(docv) — a control-consistent VLIW coding \
+              of the same computation — under the global sequencer, \
+              then explain the cycle delta slot category by slot \
+              category.  Register/memory initialisers apply to both \
+              runs; other diagnostic flags are ignored in this mode.")
+
+let compare_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "compare-json" ] ~docv:"FILE"
+        ~doc:"With $(b,--compare): also write the differential report \
+              as JSON (schema ximd-compare/1) to $(docv) ($(b,-) for \
+              stdout).")
+
 let repeat_arg =
   Arg.(
     value & opt int 1
@@ -186,9 +240,59 @@ let write_output path contents =
     close_out oc
   end
 
+(* --compare short-circuits the normal run: both sides execute inside
+   {!Ximd_report.Compare} sessions with accounting sinks attached, and
+   the process exits with the worse of the two outcomes' codes. *)
+let run_compare sim program compare_path compare_json ~max_cycles
+    ~record_hazards ~reg_inits ~mem_inits =
+  if sim <> Xsim then begin
+    Printf.eprintf "--compare is only available on xsim\n";
+    exit 1
+  end;
+  match program_of_file compare_path with
+  | Error msg ->
+    Printf.eprintf "%s\n" msg;
+    exit 1
+  | Ok vliw_program ->
+    let config_of p =
+      Ximd_core.Config.make
+        ~n_fus:(Ximd_core.Program.n_fus p)
+        ~max_cycles
+        ~hazard_policy:
+          (if record_hazards then Ximd_machine.Hazard.Record
+           else Ximd_machine.Hazard.Raise)
+        ()
+    in
+    let setup (state : Ximd_core.State.t) =
+      List.iter
+        (fun (r, v) -> Ximd_machine.Regfile.set state.regs r v)
+        reg_inits;
+      List.iter (fun (a, v) -> Ximd_core.State.mem_set state a v) mem_inits
+    in
+    let spec p =
+      { Ximd_report.Compare.program = p; config = config_of p; setup }
+    in
+    (match
+       Ximd_report.Compare.run ~ximd:(spec program) ~vliw:(spec vliw_program)
+     with
+     | Error msg ->
+       Printf.eprintf "%s\n" msg;
+       exit 1
+     | Ok cmp ->
+       Format.printf "%a@." Ximd_report.Compare.pp cmp;
+       (match compare_json with
+        | None -> ()
+        | Some out ->
+          write_output out (Ximd_report.Compare.to_json cmp ^ "\n"));
+       exit
+         (max
+            (Ximd_core.Run.exit_code cmp.Ximd_report.Compare.ximd.outcome)
+            (Ximd_core.Run.exit_code cmp.Ximd_report.Compare.vliw.outcome)))
+
 let run_simulator sim path trace listing stats max_cycles record_hazards
     detect_deadlock deadlock_window inject repeat postmortem trace_events
-    metrics_file profile timeline reg_inits mem_inits dump_regs dump_mem =
+    metrics_file profile timeline account_file critical_path profile_folded
+    compare_file compare_json reg_inits mem_inits dump_regs dump_mem =
   if repeat < 1 then begin
     Printf.eprintf "--repeat must be at least 1\n";
     exit 1
@@ -198,6 +302,11 @@ let run_simulator sim path trace listing stats max_cycles record_hazards
     Printf.eprintf "%s\n" msg;
     exit 1
   | Ok program ->
+    (match compare_file with
+     | Some compare_path ->
+       run_compare sim program compare_path compare_json ~max_cycles
+         ~record_hazards ~reg_inits ~mem_inits
+     | None -> ());
     let config =
       Ximd_core.Config.make
         ~n_fus:(Ximd_core.Program.n_fus program)
@@ -224,11 +333,15 @@ let run_simulator sim path trace listing stats max_cycles record_hazards
           exit 1)
     in
     let obs =
-      if trace_events <> None || metrics_file <> None || profile || timeline
+      if
+        trace_events <> None || metrics_file <> None || profile || timeline
+        || account_file <> None || critical_path <> None
+        || profile_folded <> None
       then
         Some
           (Ximd_obs.Sink.create
              ~trace:(trace_events <> None)
+             ~critpath:(critical_path <> None)
              ~n_fus:(Ximd_core.Program.n_fus program)
              ~code_len:(Ximd_core.Program.length program)
              ())
@@ -361,7 +474,42 @@ let run_simulator sim path trace listing stats max_cycles record_hazards
            Ximd_obs.Timeline.pp
            (Ximd_obs.Sink.timeline sink);
          Format.printf "%a@." Ximd_obs.Sink.pp_summary sink
-       end);
+       end;
+       (match profile_folded with
+        | None -> ()
+        | Some out ->
+          (match Ximd_obs.Sink.profile sink with
+           | None -> ()
+           | Some prof ->
+             let describe pc =
+               match pc_label pc with Some l -> l | None -> ""
+             in
+             write_output out (Ximd_obs.Profile.to_folded ~describe prof)));
+       let realised = state.stats.Ximd_core.Stats.cycles in
+       (match account_file with
+        | None -> ()
+        | Some out ->
+          (match Ximd_obs.Sink.account sink with
+           | None -> ()
+           | Some acct ->
+             write_output out
+               (Ximd_obs.Account.to_json acct ~cycles:realised ^ "\n");
+             if out <> "-" then
+               Format.printf "%a@."
+                 (fun fmt a -> Ximd_obs.Account.pp fmt a ~cycles:realised)
+                 acct));
+       (match critical_path with
+        | None -> ()
+        | Some out ->
+          (match Ximd_obs.Sink.critpath sink with
+           | None -> ()
+           | Some crit ->
+             write_output out
+               (Ximd_obs.Critpath.to_json crit ~realised ^ "\n");
+             if out <> "-" then
+               Format.printf "%a@."
+                 (fun fmt c -> Ximd_obs.Critpath.pp fmt c ~realised)
+                 crit)));
     let hazards = Ximd_core.State.hazards state in
     if hazards <> [] then begin
       Format.printf "%d hazards recorded:@." (List.length hazards);
@@ -405,5 +553,7 @@ let simulator_term sim_term =
     $ max_cycles_arg $ record_hazards_flag $ detect_deadlock_flag
     $ deadlock_window_arg $ inject_arg $ repeat_arg $ postmortem_arg
     $ trace_events_arg
-    $ metrics_arg $ profile_flag $ timeline_flag $ reg_inits_arg
+    $ metrics_arg $ profile_flag $ timeline_flag $ account_arg
+    $ critical_path_arg $ profile_folded_arg $ compare_arg
+    $ compare_json_arg $ reg_inits_arg
     $ mem_inits_arg $ dump_regs_arg $ dump_mem_arg)

@@ -93,9 +93,11 @@ let[@inline] set_ss (state : State.t) ~fu sync =
   match state.obs with
   | None -> ()
   | Some obs ->
-    if not (Sync.equal old_ss sync) then
+    if not (Sync.equal old_ss sync) then begin
+      state.scratch.ss_edge.(fu) <- true;
       Ximd_obs.Sink.on_ss obs ~cycle:state.cycle ~fu
         ~to_done:(Sync.equal sync Sync.Done)
+    end
 
 let[@inline] hook_halt (state : State.t) ~fu =
   match state.obs with
@@ -123,6 +125,141 @@ let[@inline] hook_finish (state : State.t) =
   match state.obs with
   | None -> ()
   | Some obs -> Ximd_obs.Sink.finish obs ~cycle:state.cycle
+
+(* ------------------------------------------------------------------ *)
+(* Why-analysis sampling (DESIGN.md §9).  The engine is the only place
+   that knows why a slot was idle, so it classifies every fu×cycle slot
+   for {!Ximd_obs.Account} and feeds the realised dependences to
+   {!Ximd_obs.Critpath} — both behind the same single-[match]-on-[obs]
+   discipline as every other hook, so a detached run pays nothing. *)
+
+let[@inline] stream_of model ~n fu =
+  match model with
+  | Per_fu -> fu
+  | Global -> 0
+  | Banked -> if fu < n / 2 then 0 else 1
+
+(* Only operations that stage a register or memory write can lose their
+   result to an armed drop-write fault (I/O writes and compares bypass
+   the staging ports). *)
+let droppable = function
+  | Parcel.Dbin _ | Parcel.Dun _ | Parcel.Dload _ | Parcel.Din _
+  | Parcel.Dstore _ -> true
+  | Parcel.Dnop | Parcel.Dcmp _ | Parcel.Dout _ -> false
+
+let[@inline] op_reg = function
+  | Operand.Reg r -> Reg.index r
+  | Operand.Imm _ -> -1
+
+(* Source/destination registers of a data op, decomposed to plain ints
+   (-1 = none) so the stdlib-only obs layer never sees parcel types. *)
+let issue_args = function
+  | Parcel.Dnop -> (-1, -1, -1, false)
+  | Parcel.Dbin { a; b; d; _ } -> (op_reg a, op_reg b, Reg.index d, false)
+  | Parcel.Dun { a; d; _ } -> (op_reg a, -1, Reg.index d, false)
+  | Parcel.Dcmp { a; b; _ } -> (op_reg a, op_reg b, -1, true)
+  | Parcel.Dload { a; b; d } -> (op_reg a, op_reg b, Reg.index d, false)
+  | Parcel.Dstore { a; b } -> (op_reg a, op_reg b, -1, false)
+  | Parcel.Din { port; d } -> (op_reg port, -1, Reg.index d, false)
+  | Parcel.Dout { a; port } -> (op_reg a, op_reg port, -1, false)
+
+(* Bind a conditional branch's control producers for every issuing
+   member of its stream, as of start-of-cycle state — called from the
+   branch-evaluation phase, before any of this cycle's issues. *)
+let bind_stream (state : State.t) obs ~leader ~last cond =
+  let was_live = state.scratch.was_live in
+  for fu = leader to last do
+    if was_live.(fu) then
+      match (cond : Cond.t) with
+      | Cond.Cc j -> Ximd_obs.Sink.cp_bind_cc obs ~fu ~j
+      | Cond.Ss j -> Ximd_obs.Sink.cp_bind_ss obs ~fu ~j
+      | Cond.All_ss mask -> Ximd_obs.Sink.cp_bind_all obs ~fu ~mask
+      | Cond.Any_ss mask ->
+        let dm = ref 0 in
+        for j = 0 to State.n_fus state - 1 do
+          if mask land (1 lsl j) <> 0 && Sync.equal state.sss.(j) Sync.Done
+          then dm := !dm lor (1 lsl j)
+        done;
+        Ximd_obs.Sink.cp_bind_any obs ~fu ~done_mask:!dm
+      | Cond.Always1 | Cond.Always2 -> ()
+  done
+
+let[@inline] hook_bind model (state : State.t) ~ns =
+  match state.obs with
+  | None -> ()
+  | Some obs ->
+    if Ximd_obs.Sink.wants_critpath obs then begin
+      let n = State.n_fus state in
+      let s = state.scratch in
+      for k = 0 to ns - 1 do
+        if s.str_live.(k) then
+          match s.ctrl.(k).control with
+          | Control.Branch { cond; _ } when not (Cond.is_unconditional cond)
+            ->
+            let leader, last = stream_bounds model ~n k in
+            bind_stream state obs ~leader ~last cond
+          | Control.Branch _ | Control.Halt -> ()
+      done
+    end
+
+(* Classify every slot of the cycle (see {!Ximd_obs.Account} for the
+   taxonomy and priority) and create the committing ops' dependence
+   nodes.  Runs after control commit, so [spun]/[ss_edge] reflect this
+   cycle; fault drop masks stay armed until the next cycle begins. *)
+let slot_accounting model (state : State.t) obs =
+  let n = State.n_fus state in
+  let s = state.scratch in
+  let wants_cp = Ximd_obs.Sink.wants_critpath obs in
+  let latency = state.config.result_latency in
+  for fu = 0 to n - 1 do
+    let cls : Ximd_obs.Account.cls =
+      if not s.was_live.(fu) then Halted
+      else begin
+        let data = s.parcels.(fu).data in
+        let spun = s.spun.(stream_of model ~n fu) in
+        if Parcel.is_nop data then
+          if not spun then Nop_padding
+          else
+            match s.ctrl.(stream_of model ~n fu).control with
+            | Control.Branch { cond = Cond.Ss _; _ } -> Spin_ss
+            | Control.Branch { cond = Cond.All_ss _ | Cond.Any_ss _; _ } ->
+              Barrier_wait
+            | Control.Branch { cond = Cond.Cc _; _ } -> Spin_cc
+            | Control.Branch { cond = Cond.Always1 | Cond.Always2; _ }
+            | Control.Halt ->
+              (* unreachable: a spinning stream executed a conditional *)
+              Nop_padding
+        else if spun then Squashed
+        else
+          let dropped =
+            match state.faults with
+            | Some f -> M.Fault.drops f ~fu && droppable data
+            | None -> false
+          in
+          if dropped then Fault_lost else Commit
+      end
+    in
+    Ximd_obs.Sink.on_slot obs ~fu cls;
+    if wants_cp && cls = Commit then begin
+      let r1, r2, w, sets_cc = issue_args s.parcels.(fu).data in
+      Ximd_obs.Sink.cp_issue obs ~cycle:state.cycle ~fu ~pc:s.old_pcs.(fu)
+        ~r1 ~r2 ~w ~sets_cc ~latency
+    end
+  done;
+  if wants_cp then begin
+    for fu = 0 to n - 1 do
+      if s.ss_edge.(fu) then begin
+        s.ss_edge.(fu) <- false;
+        Ximd_obs.Sink.cp_ss_mark obs ~fu
+      end
+    done;
+    Ximd_obs.Sink.cp_end_cycle obs
+  end
+
+let[@inline] hook_slots model (state : State.t) =
+  match state.obs with
+  | None -> ()
+  | Some obs -> slot_accounting model state obs
 
 (* A finished stream reads as DONE (DESIGN.md §5) — except under the
    global sequencer, where sync signals have no architectural role. *)
@@ -220,6 +357,9 @@ let step model ?tracer (state : State.t) =
           let leader, last = stream_bounds model ~n k in
           Exec.eval_cond state ~fu:(seq_fu model state ~leader ~last) cond
     done;
+    (* Critical-path only: bind conditional branches' control producers
+       against the same start-of-cycle state the evaluation read. *)
+    hook_bind model state ~ns;
     (* Data operations: every issuing FU executes; an idle slot is a
        halted slot. *)
     for fu = 0 to n - 1 do
@@ -228,10 +368,12 @@ let step model ?tracer (state : State.t) =
     done;
     Exec.commit_cycle state;
     (* Control commit: sync signals, next PCs, halts; spin and branch
-       statistics (charged once per sequencer). *)
+       statistics (branches charged once per sequencer, spin slots once
+       per issuing member). *)
     let old_pcs = s.old_pcs in
     Array.blit state.pcs 0 old_pcs 0 n;
     for k = 0 to ns - 1 do
+      s.spun.(k) <- false;
       if str_live.(k) then begin
         let leader, last = stream_bounds model ~n k in
         match ctrl.(k).control with
@@ -252,7 +394,16 @@ let step model ?tracer (state : State.t) =
           (match Control.resolve control ~pc ~taken:taken.(k) with
            | Some next ->
              let spinning = next = pc && not (Cond.is_unconditional cond) in
-             if spinning then stats.spin_slots <- stats.spin_slots + 1;
+             s.spun.(k) <- spinning;
+             (* one spin slot per issuing member, not per sequencer: a
+                spinning k-FU stream wastes k slots (the accounting
+                conservation property flushed out the old per-stream
+                charge, which understated Global/Banked spins) *)
+             if spinning then
+               for fu = leader to last do
+                 if was_live.(fu) then
+                   stats.spin_slots <- stats.spin_slots + 1
+               done;
              for fu = leader to last do
                state.pcs.(fu) <- next
              done;
@@ -300,6 +451,7 @@ let step model ?tracer (state : State.t) =
         Partition.count_live state.partition ~halted:state.halted
     in
     if live_streams > stats.max_streams then stats.max_streams <- live_streams;
+    hook_slots model state;
     hook_cycle_end state ~live_streams;
     state.cycle <- state.cycle + 1;
     stats.cycles <- state.cycle

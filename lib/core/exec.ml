@@ -286,9 +286,17 @@ let apply_faults (state : State.t) faults =
     emit (before - M.Fault.remaining faults) (M.Fault.fired_rev faults)
 
 (* Drain the datapath pipeline after the last FU halts: remaining
-   results commit in issue order over the following "cycles". *)
+   results commit in issue order over the following "cycles".  Every
+   drained cycle is a halted slot on every FU, so the per-slot cycle
+   accounting stays conserved against [stats.cycles]. *)
 let drain_pipeline (state : State.t) =
   while state.inflight.ifl_len > 0 do
     state.cycle <- state.cycle + 1;
-    commit_cycle state
+    commit_cycle state;
+    match state.obs with
+    | None -> ()
+    | Some obs ->
+      for fu = 0 to State.n_fus state - 1 do
+        Ximd_obs.Sink.on_slot obs ~fu Ximd_obs.Account.Halted
+      done
   done

@@ -10,6 +10,8 @@ type scratch = {
   mutable prev_sigs_valid : bool;
   str_live : bool array;
   ctrl : Parcel.t array;
+  spun : bool array;
+  ss_edge : bool array;
   cc_fu : int array;
   cc_val : bool array;
   mutable cc_len : int;
@@ -108,6 +110,8 @@ let create ?(config = Config.default) ?faults ?obs program =
         prev_sigs_valid = false;
         str_live = Array.make n false;
         ctrl = Array.make n Parcel.halted;
+        spun = Array.make n false;
+        ss_edge = Array.make n false;
         cc_fu = Array.make n 0;
         cc_val = Array.make n false;
         cc_len = 0 };
@@ -148,6 +152,8 @@ let reset ?program t =
   t.partition <- Partition.initial ~n;
   t.scratch.prev_sigs_valid <- false;
   t.scratch.cc_len <- 0;
+  Array.fill t.scratch.spun 0 n false;
+  Array.fill t.scratch.ss_edge 0 n false;
   t.inflight.ifl_len <- 0;
   (match t.faults with
    | None -> ()

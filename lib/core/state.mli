@@ -27,6 +27,8 @@ type scratch = {
   mutable prev_sigs_valid : bool;
   str_live : bool array;     (** per-stream liveness ({!Engine}) *)
   ctrl : Parcel.t array;     (** per-stream control parcels ({!Engine}) *)
+  spun : bool array;         (** per-stream: branch re-selected its PC *)
+  ss_edge : bool array;      (** per-FU: sync signal changed this cycle *)
   cc_fu : int array;         (** staged condition-code updates… *)
   cc_val : bool array;       (** …with their new values *)
   mutable cc_len : int;

@@ -16,8 +16,13 @@ type t = {
   mutable cmp_ops : int;
   mutable cond_branches : int; (** conditional control operations executed *)
   mutable spin_slots : int;    (** FU-cycles spent busy-waiting: a
-                                   conditional branch that re-selected the
-                                   FU's current address *)
+                                   conditional branch re-selected the
+                                   stream's current address.  Charged per
+                                   issuing member FU of the spinning
+                                   stream (so a spinning global sequencer
+                                   wastes [n_fus] slots per cycle), which
+                                   keeps the accounting taxonomy conserved
+                                   — see {!Ximd_obs.Account}. *)
   mutable max_streams : int;   (** max simultaneous SSET count observed *)
   mutable commit_ops : int;    (** cumulative results (register/memory
                                    writes and condition codes) that

@@ -1,0 +1,365 @@
+(* Dynamic-dependence critical path, built online from the engine hook
+   sites (the drop-oldest event ring cannot be replayed soundly — see
+   DESIGN.md §9).  Nodes are committing data operations; edges are the
+   realised dependences that constrained their issue cycle:
+
+     seq      same-FU program order                 latency 1
+     reg      register def -> use                   latency result_latency
+     cc       compare -> dependent branch exit      latency 2
+     ss       SS producer -> spin exit              latency 2
+     barrier  barrier producers -> barrier exit     latency 2
+
+   Each node keeps the single tightest in-edge (max earliest-issue over
+   the candidates, first-max on ties in the fixed order seq, control,
+   reg), so the longest chain is recovered by walking parents.  Every
+   edge is a {e realised} dependence — a register edge is only taken
+   when the def's result had actually arrived ([def.cycle + latency <=
+   use.cycle]); a use that raced ahead read the older value and carries
+   no edge.  Dropping edges only loosens the bound, so the invariant
+   [lower_bound <= realised cycles] always holds. *)
+
+type edge = Start | Seq | Reg | Cc | Ss | Barrier
+
+let edge_name = function
+  | Start -> "start"
+  | Seq -> "seq"
+  | Reg -> "reg"
+  | Cc -> "cc"
+  | Ss -> "ss"
+  | Barrier -> "barrier"
+
+type node = {
+  e_kind : edge;          (* kind of the in-edge from [parent] *)
+  e_latency : int;
+  parent : node option;
+  dist : int;             (* earliest possible issue cycle *)
+  cycle : int;            (* realised issue cycle *)
+  fu : int;
+  pc : int;
+}
+
+(* Control-dependence producers become visible to the consumer two
+   cycles after they issue: one for the signal/code to commit, one for
+   the released branch to fetch. *)
+let ctrl_latency = 2
+
+type t = {
+  n_fus : int;
+  last : node option array;      (* per FU: latest committed op *)
+  reg_def : node option array;   (* per register: latest visible def *)
+  cc_def : node option array;    (* per FU: latest visible compare *)
+  ss_def : node option array;    (* per FU: op behind the latest SS edge *)
+  pend_kind : edge array;        (* per FU: bound control dependence *)
+  pend : node option array;
+  (* a branch evaluated at cycle c selects the fetch at c+1, so its
+     binding constrains issues from c+1 on — never the same-cycle issue
+     of the row the branch itself sits in.  Bindings stage here and
+     promote at {!end_cycle}. *)
+  pend_stage_kind : edge array;
+  pend_stage : node option array;
+  pend_bound : bool array;
+  (* end-of-cycle staging: a def must not be visible to same-cycle
+     consumers (all reads observe start-of-cycle state) *)
+  stage_node : node option array;
+  stage_reg : int array;         (* register written, or -1 *)
+  stage_cc : bool array;
+  stage_ss : bool array;         (* SS edge requested this cycle *)
+  mutable best : node option;
+  mutable node_count : int;
+}
+
+let create ~n_fus ~n_regs =
+  if n_fus < 1 then invalid_arg "Critpath.create: n_fus must be >= 1";
+  if n_regs < 1 then invalid_arg "Critpath.create: n_regs must be >= 1";
+  { n_fus;
+    last = Array.make n_fus None;
+    reg_def = Array.make n_regs None;
+    cc_def = Array.make n_fus None;
+    ss_def = Array.make n_fus None;
+    pend_kind = Array.make n_fus Start;
+    pend = Array.make n_fus None;
+    pend_stage_kind = Array.make n_fus Start;
+    pend_stage = Array.make n_fus None;
+    pend_bound = Array.make n_fus false;
+    stage_node = Array.make n_fus None;
+    stage_reg = Array.make n_fus (-1);
+    stage_cc = Array.make n_fus false;
+    stage_ss = Array.make n_fus false;
+    best = None;
+    node_count = 0 }
+
+let n_fus t = t.n_fus
+
+let reset t =
+  Array.fill t.last 0 t.n_fus None;
+  Array.fill t.reg_def 0 (Array.length t.reg_def) None;
+  Array.fill t.cc_def 0 t.n_fus None;
+  Array.fill t.ss_def 0 t.n_fus None;
+  Array.fill t.pend 0 t.n_fus None;
+  Array.fill t.pend_stage 0 t.n_fus None;
+  Array.fill t.pend_bound 0 t.n_fus false;
+  Array.fill t.stage_node 0 t.n_fus None;
+  Array.fill t.stage_reg 0 t.n_fus (-1);
+  Array.fill t.stage_cc 0 t.n_fus false;
+  Array.fill t.stage_ss 0 t.n_fus false;
+  t.best <- None;
+  t.node_count <- 0
+
+(* ------------------------------------------------------------------ *)
+(* Binding control dependences.  Called on every evaluation of a
+   conditional branch; the binding in effect when the stream's next op
+   issues is the decisive (releasing) evaluation's. *)
+
+let bind t ~fu kind producer =
+  t.pend_bound.(fu) <- true;
+  t.pend_stage_kind.(fu) <- kind;
+  t.pend_stage.(fu) <- producer
+
+let bind_cc t ~fu ~j = bind t ~fu Cc t.cc_def.(j)
+let bind_ss t ~fu ~j = bind t ~fu Ss t.ss_def.(j)
+
+(* ALL-barrier: the release waits for the slowest producer. *)
+let bind_all t ~fu ~mask =
+  let best = ref None in
+  for j = 0 to t.n_fus - 1 do
+    if mask land (1 lsl j) <> 0 then
+      match t.ss_def.(j) with
+      | None -> ()
+      | Some p ->
+        (match !best with
+         | Some b when b.dist >= p.dist -> ()
+         | _ -> best := Some p)
+  done;
+  bind t ~fu Barrier !best
+
+(* ANY-barrier: the release waited only for the earliest producer among
+   the signals that were DONE at the decisive evaluation. *)
+let bind_any t ~fu ~done_mask =
+  let best = ref None in
+  for j = 0 to t.n_fus - 1 do
+    if done_mask land (1 lsl j) <> 0 then
+      match t.ss_def.(j) with
+      | None -> ()
+      | Some p ->
+        (match !best with
+         | Some b when b.dist <= p.dist -> ()
+         | _ -> best := Some p)
+  done;
+  bind t ~fu Barrier !best
+
+let ss_mark t ~fu = t.stage_ss.(fu) <- true
+
+(* ------------------------------------------------------------------ *)
+
+let issue t ~cycle ~fu ~pc ~r1 ~r2 ~w ~sets_cc ~latency =
+  let c_kind = ref Start and c_lat = ref 0 and c_dist = ref 0 in
+  let c_parent = ref None in
+  let consider kind lat producer =
+    match producer with
+    | None -> ()
+    | Some p ->
+      let d = p.dist + lat in
+      if d > !c_dist then begin
+        c_dist := d;
+        c_kind := kind;
+        c_lat := lat;
+        c_parent := producer
+      end
+  in
+  consider Seq 1 t.last.(fu);
+  (match t.pend.(fu) with
+   | None -> ()
+   | Some _ as p ->
+     consider t.pend_kind.(fu) ctrl_latency p;
+     t.pend.(fu) <- None);
+  let consider_reg r =
+    if r >= 0 then
+      match t.reg_def.(r) with
+      | Some p when p.cycle + latency <= cycle ->
+        consider Reg latency t.reg_def.(r)
+      | Some _ | None -> ()
+  in
+  consider_reg r1;
+  if r2 <> r1 then consider_reg r2;
+  let node =
+    { e_kind = !c_kind; e_latency = !c_lat; parent = !c_parent;
+      dist = !c_dist; cycle; fu; pc }
+  in
+  t.last.(fu) <- Some node;
+  t.node_count <- t.node_count + 1;
+  t.stage_node.(fu) <- Some node;
+  t.stage_reg.(fu) <- w;
+  t.stage_cc.(fu) <- sets_cc;
+  match t.best with
+  | Some b when b.dist >= node.dist -> ()
+  | _ -> t.best <- Some node
+
+(* Defs become visible to consumers only from the next cycle on. *)
+let end_cycle t =
+  for fu = 0 to t.n_fus - 1 do
+    (match t.stage_node.(fu) with
+     | None -> ()
+     | Some _ as node ->
+       if t.stage_reg.(fu) >= 0 then t.reg_def.(t.stage_reg.(fu)) <- node;
+       if t.stage_cc.(fu) then t.cc_def.(fu) <- node;
+       t.stage_node.(fu) <- None;
+       t.stage_reg.(fu) <- -1;
+       t.stage_cc.(fu) <- false);
+    if t.stage_ss.(fu) then begin
+      t.ss_def.(fu) <- t.last.(fu);
+      t.stage_ss.(fu) <- false
+    end;
+    if t.pend_bound.(fu) then begin
+      t.pend_kind.(fu) <- t.pend_stage_kind.(fu);
+      t.pend.(fu) <- t.pend_stage.(fu);
+      t.pend_stage.(fu) <- None;
+      t.pend_bound.(fu) <- false
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Results *)
+
+let node_count t = t.node_count
+let lower_bound t = match t.best with None -> 0 | Some b -> b.dist + 1
+
+type step = {
+  s_edge : edge;
+  s_latency : int;
+  s_slack : int;   (* realised cycles beyond the edge latency *)
+  s_cycle : int;
+  s_fu : int;
+  s_pc : int;
+}
+
+let path t =
+  let rec walk node acc =
+    let slack =
+      match node.parent with
+      | None -> 0
+      | Some p -> node.cycle - p.cycle - node.e_latency
+    in
+    let acc =
+      { s_edge = node.e_kind; s_latency = node.e_latency; s_slack = slack;
+        s_cycle = node.cycle; s_fu = node.fu; s_pc = node.pc }
+      :: acc
+    in
+    match node.parent with None -> acc | Some p -> walk p acc
+  in
+  match t.best with None -> [] | Some b -> walk b []
+
+let kinds = [ Seq; Reg; Cc; Ss; Barrier ]
+
+type kind_sum = {
+  k_edges : int;
+  k_cycles : int;   (* edge latencies on the path *)
+  k_slack : int;    (* realised slack attributed to the kind *)
+}
+
+let breakdown t =
+  let edges = Array.make 6 0 and lat = Array.make 6 0
+  and slack = Array.make 6 0 in
+  let idx = function
+    | Start -> 0 | Seq -> 1 | Reg -> 2 | Cc -> 3 | Ss -> 4 | Barrier -> 5
+  in
+  List.iter
+    (fun s ->
+      if s.s_edge <> Start then begin
+        let i = idx s.s_edge in
+        edges.(i) <- edges.(i) + 1;
+        lat.(i) <- lat.(i) + s.s_latency;
+        slack.(i) <- slack.(i) + s.s_slack
+      end)
+    (path t);
+  List.map
+    (fun k ->
+      let i = idx k in
+      (k, { k_edges = edges.(i); k_cycles = lat.(i); k_slack = slack.(i) }))
+    kinds
+
+(* The [realised - lower_bound] gap, decomposed exactly: cycles before
+   the chain's first op issued, per-edge-kind slack along the chain,
+   and cycles after its last op issued. *)
+let rec chain_root n =
+  match n.parent with None -> n | Some p -> chain_root p
+
+let gap_parts t ~realised =
+  match t.best with
+  | None -> (realised, 0)
+  | Some b -> ((chain_root b).cycle, realised - 1 - b.cycle)
+
+let max_json_steps = 256
+
+let to_json t ~realised =
+  let buf = Buffer.create 2048 in
+  let n = lower_bound t in
+  let head, tail = gap_parts t ~realised in
+  Buffer.add_string buf "{\"schema\":\"ximd-critpath/1\",";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\"lower_bound\":%d,\"realised\":%d,\"gap\":%d,\"nodes\":%d," n
+       realised (realised - n) t.node_count);
+  Buffer.add_string buf
+    (Printf.sprintf "\"gap_head\":%d,\"gap_tail\":%d," head tail);
+  Buffer.add_string buf "\"breakdown\":{";
+  List.iteri
+    (fun i (k, s) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\"%s\":{\"edges\":%d,\"cycles\":%d,\"slack\":%d}"
+           (edge_name k) s.k_edges s.k_cycles s.k_slack))
+    (breakdown t);
+  Buffer.add_string buf "},\"path\":[";
+  let steps = path t in
+  List.iteri
+    (fun i s ->
+      if i < max_json_steps then begin
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"cycle\":%d,\"fu\":%d,\"pc\":%d,\"edge\":\"%s\",\
+              \"latency\":%d,\"slack\":%d}"
+             s.s_cycle s.s_fu s.s_pc (edge_name s.s_edge) s.s_latency
+             s.s_slack)
+      end)
+    steps;
+  Buffer.add_string buf "],";
+  Buffer.add_string buf
+    (Printf.sprintf "\"path_truncated\":%b}"
+       (List.length steps > max_json_steps));
+  Buffer.contents buf
+
+let max_pp_steps = 32
+
+let pp fmt t ~realised =
+  let n = lower_bound t in
+  let head, tail = gap_parts t ~realised in
+  Format.pp_open_vbox fmt 0;
+  Format.fprintf fmt
+    "critical path: lower bound %d cycles, realised %d (gap %d)@," n
+    realised (realised - n);
+  if t.node_count = 0 then
+    Format.fprintf fmt "  (no committing operations observed)@,"
+  else begin
+    Format.fprintf fmt "  edge kind  edges  bound cycles  slack@,";
+    List.iter
+      (fun (k, s) ->
+        if s.k_edges > 0 then
+          Format.fprintf fmt "  %-9s  %5d  %12d  %5d@," (edge_name k)
+            s.k_edges s.k_cycles s.k_slack)
+      (breakdown t);
+    Format.fprintf fmt
+      "  gap: %d before the chain, %d inside it, %d after@," head
+      (realised - n - head - tail) tail;
+    let steps = path t in
+    let shown = min max_pp_steps (List.length steps) in
+    Format.fprintf fmt "  chain (oldest first, %d of %d steps):@," shown
+      (List.length steps);
+    List.iteri
+      (fun i s ->
+        if i < max_pp_steps then
+          Format.fprintf fmt "    cycle %5d  FU%-2d pc %02x  via %s@,"
+            s.s_cycle s.s_fu s.s_pc (edge_name s.s_edge))
+      steps
+  end;
+  Format.pp_close_box fmt ()

@@ -53,6 +53,32 @@ let reset t =
   t.total <- 0;
   t.out_of_range <- 0
 
+(* Folded-stack frames must not contain the separators the consumers
+   split on (';' between frames, the last ' ' before the count). *)
+let folded_frame s =
+  String.map (function ';' | ' ' | '\n' | '\t' -> '_' | c -> c) s
+
+let to_folded ?(describe = fun _ -> "") t =
+  let buf = Buffer.create 1024 in
+  for fu = 0 to t.n_fus - 1 do
+    for pc = 0 to t.code_len - 1 do
+      let samples = t.counts.((fu * t.code_len) + pc) in
+      if samples > 0 then begin
+        let frame =
+          match describe pc with
+          | "" -> Printf.sprintf "pc_%02x" pc
+          | d -> folded_frame d
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "fu%d;%s %d\n" fu frame samples)
+      end
+    done
+  done;
+  if t.out_of_range > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "out_of_range %d\n" t.out_of_range);
+  Buffer.contents buf
+
 let pp ?(describe = fun _ -> "") fmt t =
   let lines = flat t in
   let total = t.total in

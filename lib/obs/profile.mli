@@ -34,6 +34,14 @@ val flat : t -> line list
 
 val reset : t -> unit
 
+val to_folded : ?describe:(int -> string) -> t -> string
+(** Folded-stack export for FlameGraph ([flamegraph.pl]) and speedscope:
+    one [fu<i>;<frame> <samples>] line per sampled (FU, address) pair,
+    FU-major, address-ascending (byte-stable).  [describe pc] supplies
+    the frame label (default [pc_<hex>]); separator characters in
+    labels are replaced with underscores.  Out-of-range samples emit a
+    single [out_of_range <n>] root frame. *)
+
 val pp : ?describe:(int -> string) -> Format.formatter -> t -> unit
 (** Flat profile: samples, percentage, cumulative percentage, per-FU
     split, and [describe pc] (e.g. label + opcode breakdown) per

@@ -24,6 +24,8 @@ type t = {
   (* barrier-wait attribution: pc -> (entries, total waited) *)
   barriers : (int, int * int) Hashtbl.t;
   prof : Profile.t option;
+  acct : Account.t option;
+  crit : Critpath.t option;
   n_fus : int;
   mutable parts_rev : (int * int list list) list;
   mutable last_part : int list list;
@@ -33,8 +35,11 @@ type t = {
 
 let default_ring_capacity = 1 lsl 16
 
+let default_n_regs = 256
+
 let create ?(ring_capacity = default_ring_capacity) ?(trace = true)
-    ?(profile = true) ~n_fus ~code_len () =
+    ?(profile = true) ?(account = true) ?(critpath = false)
+    ?(n_regs = default_n_regs) ~n_fus ~code_len () =
   if n_fus < 1 || n_fus > 64 then
     invalid_arg "Sink.create: n_fus must be in [1, 64]";
   let registry = Metrics.create () in
@@ -64,6 +69,8 @@ let create ?(ring_capacity = default_ring_capacity) ?(trace = true)
     spin_sync = Array.make n_fus false;
     barriers = Hashtbl.create 16;
     prof = (if profile then Some (Profile.create ~n_fus ~code_len) else None);
+    acct = (if account then Some (Account.create ~n_fus) else None);
+    crit = (if critpath then Some (Critpath.create ~n_fus ~n_regs) else None);
     n_fus;
     parts_rev = [];
     last_part = [];
@@ -153,6 +160,38 @@ let on_fault t ~cycle ~kind ~target =
 let on_watchdog t ~cycle ~quiet =
   emit t (Event.Watchdog_window { cycle; quiet })
 
+(* Per-slot cycle accounting (engine-classified; see {!Account}). *)
+let on_slot t ~fu cls =
+  match t.acct with None -> () | Some a -> Account.tally a ~fu cls
+
+(* Critical-path hooks; each is one branch when critpath is off.  The
+   engine additionally guards the decomposition work behind
+   [wants_critpath]. *)
+let wants_critpath t = t.crit <> None
+
+let cp_bind_cc t ~fu ~j =
+  match t.crit with None -> () | Some c -> Critpath.bind_cc c ~fu ~j
+
+let cp_bind_ss t ~fu ~j =
+  match t.crit with None -> () | Some c -> Critpath.bind_ss c ~fu ~j
+
+let cp_bind_all t ~fu ~mask =
+  match t.crit with None -> () | Some c -> Critpath.bind_all c ~fu ~mask
+
+let cp_bind_any t ~fu ~done_mask =
+  match t.crit with None -> () | Some c -> Critpath.bind_any c ~fu ~done_mask
+
+let cp_issue t ~cycle ~fu ~pc ~r1 ~r2 ~w ~sets_cc ~latency =
+  match t.crit with
+  | None -> ()
+  | Some c -> Critpath.issue c ~cycle ~fu ~pc ~r1 ~r2 ~w ~sets_cc ~latency
+
+let cp_ss_mark t ~fu =
+  match t.crit with None -> () | Some c -> Critpath.ss_mark c ~fu
+
+let cp_end_cycle t =
+  match t.crit with None -> () | Some c -> Critpath.end_cycle c
+
 let finish t ~cycle =
   if not t.finished then begin
     t.finished <- true;
@@ -169,6 +208,8 @@ let events t = Ring.to_list t.ring
 let dropped_events t = Ring.dropped t.ring
 let metrics t = t.registry
 let profile t = t.prof
+let account t = t.acct
+let critpath t = t.crit
 let partition_history t = List.rev t.parts_rev
 let final_cycle t = t.final_cycle
 
@@ -207,6 +248,8 @@ let reset t =
   Ring.clear t.ring;
   Metrics.reset t.registry;
   (match t.prof with None -> () | Some p -> Profile.reset p);
+  (match t.acct with None -> () | Some a -> Account.reset a);
+  (match t.crit with None -> () | Some c -> Critpath.reset c);
   Array.fill t.spin_pc 0 t.n_fus (-1);
   Array.fill t.spin_start 0 t.n_fus 0;
   Array.fill t.spin_sync 0 t.n_fus false;

@@ -30,13 +30,21 @@ val create :
   ?ring_capacity:int ->
   ?trace:bool ->
   ?profile:bool ->
+  ?account:bool ->
+  ?critpath:bool ->
+  ?n_regs:int ->
   n_fus:int ->
   code_len:int ->
   unit ->
   t
 (** [ring_capacity] defaults to 65536 events; [trace] (record events in
     the ring) defaults to [true]; [profile] (hot-PC sampling) defaults
-    to [true].  Metrics are always on — they are the cheap part.
+    to [true]; [account] (per-slot cycle accounting, one array
+    increment per fu×cycle slot) defaults to [true]; [critpath]
+    (dynamic dependence graph — allocates a node per committing op)
+    defaults to [false].  [n_regs] sizes the critical-path register
+    table (default 256, the architectural register count).  Metrics
+    are always on — they are the cheap part.
     @raise Invalid_argument if [n_fus] is not in [1, 64]. *)
 
 val n_fus : t -> int
@@ -70,6 +78,38 @@ val on_cycle_end : t -> cycle:int -> live_streams:int -> unit
 val on_fault : t -> cycle:int -> kind:string -> target:int -> unit
 val on_watchdog : t -> cycle:int -> quiet:int -> unit
 
+val on_slot : t -> fu:int -> Account.cls -> unit
+(** One fu×cycle slot, classified by the engine (see {!Account} for the
+    taxonomy and priority).  Called for every slot of every cycle when
+    accounting is on. *)
+
+(** {2 Critical-path hooks}
+
+    No-ops unless the sink was created with [~critpath:true]; the
+    engine checks {!wants_critpath} before doing any decomposition
+    work (computing masks, extracting register indices). *)
+
+val wants_critpath : t -> bool
+val cp_bind_cc : t -> fu:int -> j:int -> unit
+val cp_bind_ss : t -> fu:int -> j:int -> unit
+val cp_bind_all : t -> fu:int -> mask:int -> unit
+val cp_bind_any : t -> fu:int -> done_mask:int -> unit
+
+val cp_issue :
+  t ->
+  cycle:int ->
+  fu:int ->
+  pc:int ->
+  r1:int ->
+  r2:int ->
+  w:int ->
+  sets_cc:bool ->
+  latency:int ->
+  unit
+
+val cp_ss_mark : t -> fu:int -> unit
+val cp_end_cycle : t -> unit
+
 val finish : t -> cycle:int -> unit
 (** End of run: closes open spin streaks and fixes the timeline's final
     cycle.  Idempotent; the simulators call it once per [run]. *)
@@ -83,6 +123,8 @@ val events : t -> Event.t list
 val dropped_events : t -> int
 val metrics : t -> Metrics.t
 val profile : t -> Profile.t option
+val account : t -> Account.t option
+val critpath : t -> Critpath.t option
 val partition_history : t -> (int * int list list) list
 (** Chronological [(cycle, ssets)] change points. *)
 

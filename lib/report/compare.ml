@@ -1,0 +1,191 @@
+module Core = Ximd_core
+module Obs = Ximd_obs
+
+(* Differential XIMD-vs-VLIW report: run the same computation through a
+   Per_fu and a Global session with per-slot accounting on, and explain
+   the cycle delta category by category — the paper's Figure 8/9
+   discussion made mechanical.  The two sides are separate program
+   codings (a sync-based XIMD program is not control-consistent, so it
+   cannot run under the global sequencer as-is; the VLIW coding encodes
+   the same computation with worst-case padding). *)
+
+type side = {
+  label : string;
+  model : Core.Engine.model;
+  n_fus : int;
+  outcome : Core.Run.outcome;
+  cycles : int;
+  stats : Core.Stats.t;        (* snapshot *)
+  account : Obs.Account.t;
+}
+
+type t = {
+  ximd : side;
+  vliw : side;
+}
+
+type spec = {
+  program : Core.Program.t;
+  config : Core.Config.t;
+  setup : Core.State.t -> unit;
+}
+
+let spec ?config ?(setup = fun _ -> ()) program =
+  let config =
+    match config with
+    | Some c -> c
+    | None -> Core.Config.make ~n_fus:(Core.Program.n_fus program) ()
+  in
+  { program; config; setup }
+
+let run_side ~label ~model { program; config; setup } =
+  let obs =
+    (* lean sink: accounting only — no event ring, no profile *)
+    Obs.Sink.create ~trace:false ~profile:false
+      ~n_fus:config.Core.Config.n_fus
+      ~code_len:(Core.Program.length program)
+      ()
+  in
+  match Core.Session.create ~config ~obs ~model program with
+  | exception Invalid_argument msg -> Error (label ^ ": " ^ msg)
+  | session ->
+    let outcome =
+      match Core.Session.run ~setup session with
+      | outcome -> Ok outcome
+      | exception Ximd_machine.Hazard.Error event ->
+        Error
+          (label ^ ": hazard: "
+          ^ Format.asprintf "%a" Ximd_machine.Hazard.pp_event event)
+    in
+    Result.map
+      (fun outcome ->
+        let state = Core.Session.state session in
+        let account =
+          match Obs.Sink.account obs with
+          | Some a -> a
+          | None -> assert false (* accounting is on by default *)
+        in
+        { label;
+          model;
+          n_fus = config.Core.Config.n_fus;
+          outcome;
+          cycles = state.Core.State.cycle;
+          stats = Core.Stats.copy state.Core.State.stats;
+          account })
+      outcome
+
+let run ~ximd ~vliw =
+  match run_side ~label:"ximd" ~model:Core.Engine.Per_fu ximd with
+  | Error _ as e -> e
+  | Ok x -> (
+    match run_side ~label:"vliw" ~model:Core.Engine.Global vliw with
+    | Error _ as e -> e
+    | Ok v -> Ok { ximd = x; vliw = v })
+
+let of_workload (w : Ximd_workloads.Workload.t) =
+  match w.vliw with
+  | None -> Error (w.name ^ ": no VLIW variant")
+  | Some v ->
+    run
+      ~ximd:
+        { program = w.ximd.program;
+          config = w.ximd.config;
+          setup = w.ximd.setup }
+      ~vliw:{ program = v.program; config = v.config; setup = v.setup }
+
+(* ------------------------------------------------------------------ *)
+
+let delta_cycles t = t.vliw.cycles - t.ximd.cycles
+
+let speedup t =
+  if t.ximd.cycles = 0 then 0.
+  else float_of_int t.vliw.cycles /. float_of_int t.ximd.cycles
+
+let outcome_name = function
+  | Core.Run.Halted _ -> "halted"
+  | Core.Run.Fuel_exhausted _ -> "fuel_exhausted"
+  | Core.Run.Deadlocked _ -> "deadlocked"
+
+let side_json s =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"model\":\"%s\",\"outcome\":\"%s\",\"cycles\":%d,\"n_fus\":%d,\
+        \"data_ops\":%d,\"utilisation\":%.4f,\"effective_utilisation\":\
+        %.4f,\"account\":"
+       (match s.model with
+        | Core.Engine.Per_fu -> "per_fu"
+        | Core.Engine.Global -> "global"
+        | Core.Engine.Banked -> "banked")
+       (outcome_name s.outcome) s.cycles s.n_fus s.stats.Core.Stats.data_ops
+       (Core.Stats.utilisation s.stats ~n_fus:s.n_fus)
+       (Core.Stats.effective_utilisation s.stats ~n_fus:s.n_fus));
+  Buffer.add_string buf (Obs.Account.to_json s.account ~cycles:s.cycles);
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let to_json t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"schema\":\"ximd-compare/1\",";
+  Buffer.add_string buf "\"ximd\":";
+  Buffer.add_string buf (side_json t.ximd);
+  Buffer.add_string buf ",\"vliw\":";
+  Buffer.add_string buf (side_json t.vliw);
+  Buffer.add_string buf
+    (Printf.sprintf ",\"delta\":{\"cycles\":%d,\"speedup\":%.4f,\"slots\":{"
+       (delta_cycles t) (speedup t));
+  List.iteri
+    (fun i cls ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\"%s\":%d" (Obs.Account.name cls)
+           (Obs.Account.total t.vliw.account cls
+           - Obs.Account.total t.ximd.account cls)))
+    Obs.Account.all;
+  Buffer.add_string buf "}}}";
+  Buffer.contents buf
+
+let pp fmt t =
+  let x = t.ximd and v = t.vliw in
+  Format.pp_open_vbox fmt 0;
+  Format.fprintf fmt
+    "XIMD vs VLIW: %d vs %d cycles (speedup %.2fx, delta %+d)@," x.cycles
+    v.cycles (speedup t) (delta_cycles t);
+  Format.fprintf fmt "  ximd: %a  utilisation %.1f%% (effective %.1f%%)@,"
+    Core.Run.pp x.outcome
+    (100. *. Core.Stats.utilisation x.stats ~n_fus:x.n_fus)
+    (100. *. Core.Stats.effective_utilisation x.stats ~n_fus:x.n_fus);
+  Format.fprintf fmt "  vliw: %a  utilisation %.1f%% (effective %.1f%%)@,"
+    Core.Run.pp v.outcome
+    (100. *. Core.Stats.utilisation v.stats ~n_fus:v.n_fus)
+    (100. *. Core.Stats.effective_utilisation v.stats ~n_fus:v.n_fus);
+  Format.fprintf fmt "  slot accounting (XIMD vs VLIW, per category):@,";
+  Format.fprintf fmt "  %-12s  %12s  %12s  %8s@," "category" "ximd" "vliw"
+    "delta";
+  List.iter
+    (fun cls ->
+      let xs = Obs.Account.total x.account cls
+      and vs = Obs.Account.total v.account cls in
+      if xs > 0 || vs > 0 then
+        Format.fprintf fmt "  %-12s  %12d  %12d  %+8d@,"
+          (Obs.Account.label cls) xs vs (vs - xs))
+    Obs.Account.all;
+  (* the mechanical Figure 8/9 sentence: where the VLIW's extra slots
+     went *)
+  let extra =
+    List.filter_map
+      (fun cls ->
+        let d =
+          Obs.Account.total v.account cls - Obs.Account.total x.account cls
+        in
+        if d > 0 && cls <> Obs.Account.Halted then
+          Some (Printf.sprintf "%+d %s" d (Obs.Account.label cls))
+        else None)
+      Obs.Account.all
+  in
+  (match extra with
+   | [] -> ()
+   | parts ->
+     Format.fprintf fmt "  the VLIW's extra slots: %s@,"
+       (String.concat ", " parts));
+  Format.pp_close_box fmt ()
