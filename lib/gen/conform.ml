@@ -1,0 +1,215 @@
+module Core = Ximd_core
+module Config = Core.Config
+module Observation = Ximd_ref.Observation
+
+(* File-based conformance corpus.
+
+   A case is a plain [.xasm] program (parsed by {!Ximd_asm.Source}) with
+   an expected-result sidecar next to it ([foo.xasm] -> [foo.expect]).
+   The sidecar holds one section per applicable sequencing model:
+
+   {v
+   == xsim
+   outcome: halted/7
+   reg r1 = 3
+   mem[4] = 12
+   hazard @2: ...
+   == vsim
+   ...
+   v}
+
+   Section bodies are the byte-stable {!Observation.summary} of the
+   reference interpreter.  [check_file] re-derives each section from the
+   reference, compares it byte-for-byte against the sidecar, and runs
+   the full lockstep comparison ({!Diff.check_model}) against the
+   engine.  Sidecars are generated (and regenerated after an intended
+   semantic change) with [tools/fuzz expect].
+
+   Run parameters that are not part of the program text ride in
+   directive comments, anywhere in the file:
+
+   {v
+   ; conf: fuel=200 latency=3 mem=64 ports=4
+   ; conf: models=xsim,vsim
+   v}
+
+   Recognised keys: [fuel] (max cycles, default 2000), [latency]
+   (result latency, default 1), [mem] (memory words, default 65536),
+   [organisation=shared|distributed], [ports] (default 16),
+   [seq=research|prototype], [models] (comma-separated subset of
+   xsim/vsim/t500; default all applicable). *)
+
+type directives = (string * string) list
+
+let parse_directives source : directives =
+  String.split_on_char '\n' source
+  |> List.concat_map (fun line ->
+       let line = String.trim line in
+       let prefix = "; conf:" in
+       if String.length line > String.length prefix
+          && String.sub line 0 (String.length prefix) = prefix
+       then
+         String.sub line (String.length prefix)
+           (String.length line - String.length prefix)
+         |> String.split_on_char ' '
+         |> List.filter_map (fun tok ->
+              match String.index_opt tok '=' with
+              | None -> None
+              | Some i ->
+                Some
+                  ( String.sub tok 0 i,
+                    String.sub tok (i + 1) (String.length tok - i - 1) ))
+       else [])
+
+let directive_int directives key ~default =
+  match List.assoc_opt key directives with
+  | None -> default
+  | Some v -> (
+    match int_of_string_opt v with
+    | Some n -> n
+    | None -> failwith (Printf.sprintf "conf: %s=%s is not a number" key v))
+
+let config_of_directives directives ~n_fus =
+  let mem_words = directive_int directives "mem" ~default:65536 in
+  let mem_organisation =
+    match List.assoc_opt "organisation" directives with
+    | Some "distributed" -> Ximd_machine.Memory.Distributed { n_fus }
+    | Some "shared" | None -> Ximd_machine.Memory.Shared
+    | Some other -> failwith ("conf: unknown organisation " ^ other)
+  in
+  let sequencer =
+    match List.assoc_opt "seq" directives with
+    | Some "prototype" -> Config.Prototype
+    | Some "research" | None -> Config.Research
+    | Some other -> failwith ("conf: unknown sequencer " ^ other)
+  in
+  Config.make ~n_fus ~mem_words ~mem_organisation
+    ~n_ports:(directive_int directives "ports" ~default:16)
+    ~hazard_policy:Ximd_machine.Hazard.Record
+    ~max_cycles:(directive_int directives "fuel" ~default:2000)
+    ~sequencer
+    ~result_latency:(directive_int directives "latency" ~default:1)
+    ()
+
+let models_of_directives directives program =
+  let applicable = Diff.applicable_models program in
+  match List.assoc_opt "models" directives with
+  | None -> applicable
+  | Some spec ->
+    let named =
+      String.split_on_char ',' spec
+      |> List.map (fun name ->
+           match Diff.model_of_name (String.trim name) with
+           | Some m -> m
+           | None -> failwith ("conf: unknown model " ^ name))
+    in
+    List.filter (fun m -> List.mem m applicable) named
+
+(* --- Loading ---------------------------------------------------------- *)
+
+type case = {
+  path : string;
+  program : Core.Program.t;
+  config : Config.t;
+  models : Diff.model list;
+}
+
+let read_file path =
+  In_channel.with_open_text path In_channel.input_all
+
+let load path =
+  let source = read_file path in
+  match Ximd_asm.Source.parse source with
+  | Error e ->
+    Error
+      (Format.asprintf "%s: parse error: %a" path Ximd_asm.Source.pp_error e)
+  | Ok program -> (
+    match
+      let directives = parse_directives source in
+      let config =
+        config_of_directives directives
+          ~n_fus:(Core.Program.n_fus program)
+      in
+      let models = models_of_directives directives program in
+      { path; program; config; models }
+    with
+    | case -> (
+      match Core.Program.validate case.program case.config with
+      | Ok () -> Ok case
+      | Error errors ->
+        Error
+          (Printf.sprintf "%s: invalid program:\n%s" path
+             (String.concat "\n" errors)))
+    | exception Failure msg -> Error (Printf.sprintf "%s: %s" path msg))
+
+let expect_path path =
+  (try Filename.chop_extension path with Invalid_argument _ -> path)
+  ^ ".expect"
+
+(* --- Expected-result sidecars ----------------------------------------- *)
+
+let expected_content case =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun model ->
+      Buffer.add_string buf ("== " ^ Diff.model_name model ^ "\n");
+      let obs = Diff.observe_reference model case.program case.config in
+      Buffer.add_string buf (Observation.summary obs))
+    case.models;
+  Buffer.contents buf
+
+let write_expect case =
+  let path = expect_path case.path in
+  Out_channel.with_open_text path (fun oc ->
+    Out_channel.output_string oc (expected_content case));
+  path
+
+(* --- Checking --------------------------------------------------------- *)
+
+(* A conformance case passes when (1) the reference's summary matches
+   the sidecar byte-for-byte for every selected model and (2) the
+   engine agrees with the reference in full lockstep. *)
+let check_case case =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  (match Sys.file_exists (expect_path case.path) with
+   | false -> err "%s: missing sidecar %s" case.path (expect_path case.path)
+   | true ->
+     let expected = read_file (expect_path case.path) in
+     let actual = expected_content case in
+     if expected <> actual then
+       err
+         "%s: reference result differs from sidecar %s\n\
+          --- expected ---\n\
+          %s--- actual ---\n\
+          %s(regenerate with `tools/fuzz expect %s` if the change is \
+          intended)"
+         case.path (expect_path case.path) expected actual case.path);
+  List.iter
+    (fun model ->
+      match Diff.check_model model case.program case.config with
+      | None -> ()
+      | Some d ->
+        err "%s: engine diverges from reference under %s\n%s" case.path
+          (Diff.model_name d.Diff.model)
+          (Diff.divergence_to_string d))
+    case.models;
+  match List.rev !errors with
+  | [] -> Ok ()
+  | errors -> Error (String.concat "\n" errors)
+
+let check_file path =
+  match load path with
+  | Error e -> Error e
+  | Ok case -> check_case case
+
+(* --- Discovery -------------------------------------------------------- *)
+
+let discover dir =
+  match Sys.readdir dir with
+  | entries ->
+    Array.to_list entries
+    |> List.filter (fun f -> Filename.check_suffix f ".xasm")
+    |> List.sort compare
+    |> List.map (Filename.concat dir)
+  | exception Sys_error _ -> []

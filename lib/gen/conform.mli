@@ -1,0 +1,42 @@
+(** File-based conformance corpus: [.xasm] programs with byte-stable
+    expected-result sidecars ([foo.xasm] -> [foo.expect]), checked
+    against the reference interpreter and, in full lockstep, the
+    engine.
+
+    Run parameters ride in [; conf: key=value] directive comments
+    (keys: [fuel], [latency], [mem], [organisation], [ports], [seq],
+    [models]); see the implementation header for the sidecar format. *)
+
+type directives = (string * string) list
+
+val parse_directives : string -> directives
+val config_of_directives : directives -> n_fus:int -> Ximd_core.Config.t
+
+type case = {
+  path : string;
+  program : Ximd_core.Program.t;
+  config : Ximd_core.Config.t;
+  models : Diff.model list;
+}
+
+val load : string -> (case, string) result
+(** Parse, read directives, validate. *)
+
+val expect_path : string -> string
+(** [foo.xasm] -> [foo.expect]. *)
+
+val expected_content : case -> string
+(** The sidecar content the case should have: one [== model] section
+    per selected model, each the reference's {!Ximd_ref.Observation.summary}. *)
+
+val write_expect : case -> string
+(** Writes the sidecar next to the program; returns its path. *)
+
+val check_case : case -> (unit, string) result
+(** Reference summary must equal the sidecar byte-for-byte, and the
+    engine must agree with the reference in lockstep, for every
+    selected model. *)
+
+val check_file : string -> (unit, string) result
+val discover : string -> string list
+(** The [.xasm] files of a directory, sorted. *)

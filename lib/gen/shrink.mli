@@ -1,0 +1,20 @@
+(** Greedy divergent-program minimiser.
+
+    Repeatedly applies structure-shrinking transformations (delete a
+    row, drop the highest FU column, nop a data op, halt a control op,
+    zero an operand, reset a sync signal), keeping any candidate that is
+    still a valid program and still satisfies the predicate, until a
+    local minimum: every single further simplification makes the
+    predicate fail. *)
+
+val minimise :
+  predicate:(Proggen.case -> bool) -> Proggen.case -> Proggen.case
+(** [minimise ~predicate case] assumes [predicate case] holds and
+    returns a minimal case on which it still holds.  The predicate is
+    only called on [Program.validate]-clean candidates.  Typical
+    predicate: [fun c -> match Diff.check_case c with Diverge _ -> true
+    | Agree _ -> false]. *)
+
+val parcels : Proggen.case -> int
+(** Program size in parcels (rows × FU columns) — the repro-size measure
+    quoted in reports. *)

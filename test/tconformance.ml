@@ -1,0 +1,64 @@
+(* Conformance corpus runner: auto-discovers every suites/*.xasm, checks
+   its .expect sidecar byte-for-byte against the reference interpreter,
+   and runs reference-versus-engine lockstep under every selected model.
+   Adding a program + sidecar to suites/ adds a test here with no code
+   change. *)
+
+module Conform = Ximd_gen.Conform
+
+let suites_dir = "../suites"
+
+let discover_quiet () =
+  if Sys.file_exists suites_dir && Sys.is_directory suites_dir then
+    Conform.discover suites_dir
+  else []
+
+let discover () =
+  (* The corpus must exist and be non-trivial; silently passing on an
+     empty directory would mask a packaging mistake. *)
+  match discover_quiet () with
+  | [] -> Alcotest.failf "no .xasm cases found in %s" suites_dir
+  | cases -> cases
+
+let test_case_file path () =
+  match Conform.check_file path with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_byte_determinism () =
+  (* Two independent evaluations of the whole corpus must render
+     byte-identical expected content — the summary format may not
+     depend on hash order, physical equality, or any other ambient
+     state. *)
+  List.iter
+    (fun path ->
+      match Conform.load path with
+      | Error e -> Alcotest.fail e
+      | Ok case ->
+        let a = Conform.expected_content case in
+        let b =
+          match Conform.load path with
+          | Ok case2 -> Conform.expected_content case2
+          | Error e -> Alcotest.fail e
+        in
+        Alcotest.(check string) (path ^ ": deterministic summary") a b)
+    (discover ())
+
+let test_sidecars_present () =
+  List.iter
+    (fun path ->
+      let expect = Conform.expect_path path in
+      if not (Sys.file_exists expect) then
+        Alcotest.failf "%s has no sidecar %s (run: tools/fuzz expect %s)" path
+          expect path)
+    (discover ())
+
+let suite =
+  [ ( "conformance corpus",
+      Alcotest.test_case "sidecars present" `Quick test_sidecars_present
+      :: Alcotest.test_case "byte determinism" `Quick test_byte_determinism
+      :: List.map
+           (fun path ->
+             Alcotest.test_case (Filename.basename path) `Quick
+               (test_case_file path))
+           (discover_quiet ()) ) ]

@@ -8,65 +8,15 @@ let to_alcotest = QCheck_alcotest.to_alcotest
 
 (* --- Generators -------------------------------------------------------- *)
 
-let gen_reg = Gen.map Reg.make (Gen.int_bound 255)
+(* The ISA and whole-program generators live in lib/gen (Proggen),
+   shared with the differential fuzzer; the aliases below keep this
+   module and its dependants (taccount, tobs, tcritpath, tsession,
+   twatchdog) on the same distributions the fuzzer exercises. *)
 
-let gen_operand =
-  Gen.oneof
-    [ Gen.map (fun r -> Operand.Reg r) gen_reg;
-      Gen.map
-        (fun i -> Operand.Imm (Value.of_int i))
-        (Gen.int_range (-1_000_000) 1_000_000) ]
-
-let gen_binop = Gen.oneofl Opcode.all_binops
-let gen_unop = Gen.oneofl Opcode.all_unops
-let gen_cmpop = Gen.oneofl Opcode.all_cmpops
-
-let gen_data =
-  Gen.oneof
-    [ Gen.return Parcel.Dnop;
-      Gen.map4
-        (fun op a b d -> Parcel.Dbin { op; a; b; d })
-        gen_binop gen_operand gen_operand gen_reg;
-      Gen.map3 (fun op a d -> Parcel.Dun { op; a; d }) gen_unop gen_operand
-        gen_reg;
-      Gen.map3 (fun op a b -> Parcel.Dcmp { op; a; b }) gen_cmpop gen_operand
-        gen_operand;
-      Gen.map3 (fun a b d -> Parcel.Dload { a; b; d }) gen_operand gen_operand
-        gen_reg;
-      Gen.map2 (fun a b -> Parcel.Dstore { a; b }) gen_operand gen_operand;
-      Gen.map2 (fun port d -> Parcel.Din { port; d }) gen_operand gen_reg;
-      Gen.map2 (fun a port -> Parcel.Dout { a; port }) gen_operand gen_operand
-    ]
-
-let gen_addr = Gen.int_bound 0xffff
-
-let gen_target =
-  Gen.oneof
-    [ Gen.map (fun a -> Control.Addr a) gen_addr;
-      Gen.return Control.Fallthrough ]
-
-let gen_cond =
-  Gen.oneof
-    [ Gen.return Cond.Always1;
-      Gen.return Cond.Always2;
-      Gen.map (fun j -> Cond.Cc j) (Gen.int_bound 15);
-      Gen.map (fun j -> Cond.Ss j) (Gen.int_bound 15);
-      Gen.map (fun m -> Cond.All_ss m) (Gen.int_range 1 0xffff);
-      Gen.map (fun m -> Cond.Any_ss m) (Gen.int_range 1 0xffff) ]
-
-let gen_control =
-  Gen.oneof
-    [ Gen.return Control.Halt;
-      Gen.map3
-        (fun cond t1 t2 -> Control.Branch { cond; t1; t2 })
-        gen_cond gen_target gen_target ]
-
-let gen_sync = Gen.oneofl [ Sync.Busy; Sync.Done ]
-
-let gen_parcel =
-  Gen.map3
-    (fun data control sync -> Parcel.make ~sync data control)
-    gen_data gen_control gen_sync
+let gen_parcel = Ximd_gen.Proggen.parcel
+let gen_program = Ximd_gen.Proggen.program
+let gen_valid_program = Ximd_gen.Proggen.valid_program
+let gen_forward_program = Ximd_gen.Proggen.forward_program
 
 (* --- Encode/decode ------------------------------------------------------ *)
 
@@ -88,29 +38,6 @@ let prop_parcel_bytes_roundtrip =
         | Error _ -> false)
       | Error _ -> false)
 
-let gen_program =
-  let open Gen in
-  int_range 1 12 >>= fun n_rows ->
-  int_range 1 8 >>= fun n_fus ->
-  (* Branch targets must be in range for Program.validate-free building;
-     Program.make itself accepts any; restrict to valid addresses so the
-     image roundtrip is exercised on realistic programs. *)
-  let gen_target = Gen.map (fun a -> Control.Addr a) (int_bound (n_rows - 1)) in
-  let gen_control =
-    Gen.oneof
-      [ return Control.Halt;
-        map3
-          (fun cond t1 t2 -> Control.Branch { cond; t1; t2 })
-          gen_cond gen_target gen_target ]
-  in
-  let gen_parcel =
-    map3
-      (fun data control sync -> Parcel.make ~sync data control)
-      gen_data gen_control gen_sync
-  in
-  list_repeat n_rows (list_repeat n_fus gen_parcel) >>= fun rows ->
-  return (Ximd_core.Program.of_rows ~n_fus rows)
-
 let prop_program_image_roundtrip =
   QCheck2.Test.make ~count:200 ~name:"program image roundtrip" gen_program
     (fun p ->
@@ -121,34 +48,6 @@ let prop_program_image_roundtrip =
 (* Programs that satisfy Program.validate (targets and condition FUs in
    range, no fall-through, unconditional branches with one target) also
    survive a disassemble/assemble round trip. *)
-let gen_valid_program =
-  let open Gen in
-  int_range 1 10 >>= fun n_rows ->
-  int_range 1 8 >>= fun n_fus ->
-  let gen_addr = int_bound (n_rows - 1) in
-  let gen_cond_v =
-    oneof
-      [ map (fun j -> Cond.Cc j) (int_bound (n_fus - 1));
-        map (fun j -> Cond.Ss j) (int_bound (n_fus - 1));
-        map (fun m -> Cond.All_ss m) (int_range 1 ((1 lsl n_fus) - 1));
-        map (fun m -> Cond.Any_ss m) (int_range 1 ((1 lsl n_fus) - 1)) ]
-  in
-  let gen_control_v =
-    oneof
-      [ return Control.Halt;
-        map (fun a -> Control.goto a) gen_addr;
-        map (fun a -> Control.goto2 a) gen_addr;
-        map3 (fun cond t1 t2 -> Control.br cond t1 t2) gen_cond_v gen_addr
-          gen_addr ]
-  in
-  let gen_parcel_v =
-    map3
-      (fun data control sync -> Parcel.make ~sync data control)
-      gen_data gen_control_v gen_sync
-  in
-  list_repeat n_rows (list_repeat n_fus gen_parcel_v) >>= fun rows ->
-  return (Ximd_core.Program.of_rows ~n_fus rows)
-
 let prop_asm_source_roundtrip =
   QCheck2.Test.make ~count:150 ~name:"disassemble/assemble roundtrip"
     gen_valid_program (fun p ->
@@ -160,65 +59,6 @@ let prop_asm_source_roundtrip =
    a final halt — guaranteed termination): the general XIMD simulator
    and the VLIW baseline must agree on cycles and final register
    state (the §3.1 equivalence). *)
-let gen_forward_program =
-  let open Gen in
-  int_range 1 10 >>= fun n_rows ->
-  int_range 1 8 >>= fun n_fus ->
-  (* Data ops over a small register pool with modest immediates, so
-     differences in any register are meaningful. *)
-  let gen_reg_small = map Reg.make (int_bound 15) in
-  let gen_op_small =
-    oneof
-      [ map Operand.imm (int_range (-50) 50);
-        map (fun r -> Operand.Reg r) gen_reg_small ]
-  in
-  let gen_data_small =
-    oneof
-      [ return Parcel.Dnop;
-        map4
-          (fun op a b d -> Parcel.Dbin { op; a; b; d })
-          (oneofl [ Opcode.Iadd; Opcode.Isub; Opcode.Imult; Opcode.Xor ])
-          gen_op_small gen_op_small gen_reg_small;
-        map3
-          (fun op a b -> Parcel.Dcmp { op; a; b })
-          (oneofl [ Opcode.Lt; Opcode.Eq ])
-          gen_op_small gen_op_small ]
-  in
-  let rec rows addr acc =
-    if addr >= n_rows then return (List.rev acc)
-    else
-      (if addr = n_rows - 1 then return Control.Halt
-       else
-         oneof
-           [ return Control.Halt;
-             map
-               (fun a -> Control.goto a)
-               (int_range (addr + 1) (n_rows - 1)) ])
-      >>= fun control ->
-      (* Distinct destination registers per row avoid the undefined
-         multi-write case. *)
-      list_repeat n_fus gen_data_small >>= fun datas ->
-      let used = Hashtbl.create 7 in
-      let datas =
-        List.map
-          (fun d ->
-            match Parcel.writes d with
-            | Some reg when Hashtbl.mem used (Reg.index reg) -> Parcel.Dnop
-            | Some reg ->
-              Hashtbl.replace used (Reg.index reg) ();
-              d
-            | None -> d)
-          datas
-      in
-      (* Only one compare per row: the machine allows more (each FU has
-         its own CC), but keeping it simple also keeps Vsim's semantics
-         identical. *)
-      let row = List.map (fun d -> Parcel.make d control) datas in
-      rows (addr + 1) (row :: acc)
-  in
-  rows 0 [] >>= fun rows ->
-  return (Ximd_core.Program.of_rows ~n_fus rows, n_fus)
-
 let prop_xsim_equals_vsim =
   QCheck2.Test.make ~count:200 ~name:"xsim = vsim on VLIW-style programs"
     gen_forward_program (fun (program, n_fus) ->

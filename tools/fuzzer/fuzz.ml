@@ -1,0 +1,293 @@
+(* Differential-fuzzing CLI.  See `fuzz help` or README "Fuzzing". *)
+
+module Gen = Ximd_gen
+module Program = Ximd_core.Program
+
+let usage =
+  "usage: fuzz COMMAND [OPTIONS]\n\n\
+   Differential fuzzing of the cycle engine against the reference\n\
+   interpreter: random programs run in lockstep under every applicable\n\
+   sequencing model (xsim/vsim/t500); any observable difference —\n\
+   trace, registers, memory, I/O, hazards, outcome — is a failure.\n\n\
+   commands:\n\
+  \  run     --seed S --count N [--artifacts DIR]   fuzz N cases, shrink\n\
+  \          and report the first divergence (exit 1)\n\
+  \  one     --seed S --index I [--dump]            check one case\n\
+  \  shrink  --seed S --index I                     minimise a divergent case\n\
+  \  save    --seed S --index I --name NAME [--dir DIR]\n\
+  \          shrink and land the repro in the conformance corpus\n\
+  \  expect  FILE...                                (re)generate .expect sidecars\n\
+  \  suites  [--dir DIR]                            run the conformance corpus\n\
+  \  help\n\n\
+   Cases are seed-deterministic: (seed, index) always names the same\n\
+   program and configuration, on every machine and run.\n"
+
+let die fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("fuzz: " ^ s);
+      exit 2)
+    fmt
+
+(* --- Option parsing (flag value pairs, tools/ house style) ------------ *)
+
+let parse_options spec args =
+  let positional = ref [] in
+  let rec go = function
+    | [] -> ()
+    | arg :: rest when String.length arg > 2 && String.sub arg 0 2 = "--" -> (
+      match List.assoc_opt arg spec with
+      | Some (`Int set) -> (
+        match rest with
+        | v :: rest -> (
+          match int_of_string_opt v with
+          | Some n ->
+            set n;
+            go rest
+          | None -> die "%s expects an integer, got %s" arg v)
+        | [] -> die "%s expects a value" arg)
+      | Some (`String set) -> (
+        match rest with
+        | v :: rest ->
+          set v;
+          go rest
+        | [] -> die "%s expects a value" arg)
+      | Some (`Flag set) ->
+        set ();
+        go rest
+      | None -> die "unknown option %s" arg)
+    | arg :: rest ->
+      positional := arg :: !positional;
+      go rest
+  in
+  go args;
+  List.rev !positional
+
+let case_at ~seed ~index = Gen.Proggen.generate ~seed ~index Gen.Proggen.case
+
+let case_source (c : Gen.Proggen.case) = Ximd_asm.Source.to_source c.program
+
+let describe_config (c : Gen.Proggen.case) =
+  let cfg = c.config in
+  Printf.sprintf "n_fus=%d latency=%d mem=%d%s fuel=%d" cfg.n_fus
+    cfg.result_latency cfg.mem_words
+    (match cfg.mem_organisation with
+     | Ximd_machine.Memory.Shared -> ""
+     | Ximd_machine.Memory.Distributed _ -> " (distributed)")
+    cfg.max_cycles
+
+let diverges c =
+  match Gen.Diff.check_case c with
+  | Gen.Diff.Diverge _ -> true
+  | Gen.Diff.Agree _ -> false
+
+let shrink_case c =
+  if diverges c then Some (Gen.Shrink.minimise ~predicate:diverges c)
+  else None
+
+(* --- run -------------------------------------------------------------- *)
+
+let write_file path content =
+  Out_channel.with_open_text path (fun oc ->
+    Out_channel.output_string oc content)
+
+let report_divergence ~seed ~index ~artifacts c (d : Gen.Diff.divergence) =
+  Printf.printf "DIVERGENCE at seed %d index %d (%s, model %s)\n" seed index
+    (describe_config c) (Gen.Diff.model_name d.model);
+  print_string (Gen.Diff.divergence_to_string d);
+  print_newline ();
+  let shrunk = Gen.Shrink.minimise ~predicate:diverges c in
+  Printf.printf "shrunk repro (%d parcels, was %d):\n%s\n"
+    (Gen.Shrink.parcels shrunk) (Gen.Shrink.parcels c) (case_source shrunk);
+  match artifacts with
+  | None ->
+    Printf.printf
+      "save it to the conformance corpus once the engine is fixed:\n\
+      \  tools/fuzz save --seed %d --index %d --name NAME\n"
+      seed index
+  | Some dir ->
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+    let base = Filename.concat dir (Printf.sprintf "seed%d-index%d" seed index) in
+    write_file (base ^ ".report.txt")
+      (Printf.sprintf "seed %d index %d (%s)\n%s\n" seed index
+         (describe_config c)
+         (Gen.Diff.divergence_to_string d));
+    write_file (base ^ ".shrunk.xasm") (case_source shrunk);
+    write_file (base ^ ".original.xasm") (case_source c);
+    Printf.printf "artifacts written under %s\n" dir
+
+let cmd_run args =
+  let seed = ref 0 and count = ref 1000 and artifacts = ref None in
+  let _ =
+    parse_options
+      [ ("--seed", `Int (( := ) seed));
+        ("--count", `Int (( := ) count));
+        ("--artifacts", `String (fun d -> artifacts := Some d)) ]
+      args
+  in
+  let divergences = ref 0 in
+  let checked = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  (try
+     for index = 0 to !count - 1 do
+       let c = case_at ~seed:!seed ~index in
+       incr checked;
+       match Gen.Diff.check_case c with
+       | Gen.Diff.Agree _ -> ()
+       | Gen.Diff.Diverge d ->
+         incr divergences;
+         report_divergence ~seed:!seed ~index ~artifacts:!artifacts c d;
+         raise Exit
+     done
+   with Exit -> ());
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "fuzz: %d/%d cases, %d divergence%s, seed %d, %.1fs\n"
+    !checked !count !divergences
+    (if !divergences = 1 then "" else "s")
+    !seed dt;
+  exit (if !divergences > 0 then 1 else 0)
+
+(* --- one / shrink ----------------------------------------------------- *)
+
+let cmd_one args =
+  let seed = ref 0 and index = ref 0 and dump = ref false in
+  let _ =
+    parse_options
+      [ ("--seed", `Int (( := ) seed));
+        ("--index", `Int (( := ) index));
+        ("--dump", `Flag (fun () -> dump := true)) ]
+      args
+  in
+  let c = case_at ~seed:!seed ~index:!index in
+  Printf.printf "case seed %d index %d: %s\n" !seed !index (describe_config c);
+  if !dump then print_string (case_source c);
+  match Gen.Diff.check_case c with
+  | Gen.Diff.Agree { models } ->
+    Printf.printf "agree under %s\n"
+      (String.concat ", " (List.map Gen.Diff.model_name models));
+    exit 0
+  | Gen.Diff.Diverge d ->
+    print_string (Gen.Diff.divergence_to_string d);
+    print_newline ();
+    exit 1
+
+let cmd_shrink args =
+  let seed = ref 0 and index = ref 0 in
+  let _ =
+    parse_options
+      [ ("--seed", `Int (( := ) seed)); ("--index", `Int (( := ) index)) ]
+      args
+  in
+  let c = case_at ~seed:!seed ~index:!index in
+  match shrink_case c with
+  | None ->
+    Printf.printf "case seed %d index %d does not diverge; nothing to shrink\n"
+      !seed !index;
+    exit 0
+  | Some shrunk ->
+    Printf.printf "shrunk %d -> %d parcels (%s)\n%s" (Gen.Shrink.parcels c)
+      (Gen.Shrink.parcels shrunk)
+      (describe_config shrunk)
+      (case_source shrunk);
+    (match Gen.Diff.check_case shrunk with
+     | Gen.Diff.Diverge d ->
+       print_newline ();
+       print_string (Gen.Diff.divergence_to_string d);
+       print_newline ()
+     | Gen.Diff.Agree _ -> ());
+    exit 1
+
+(* --- save ------------------------------------------------------------- *)
+
+(* The conformance corpus pins the *reference* semantics, so a shrunk
+   divergence lands as program + reference-derived sidecar: the case
+   fails conformance until the engine is fixed, then pins the fixed
+   behaviour forever. *)
+let directives_for (c : Gen.Proggen.case) =
+  let cfg = c.config in
+  let parts =
+    [ Printf.sprintf "fuel=%d" cfg.max_cycles;
+      Printf.sprintf "latency=%d" cfg.result_latency;
+      Printf.sprintf "mem=%d" cfg.mem_words;
+      Printf.sprintf "ports=%d" cfg.n_ports ]
+    @
+    match cfg.mem_organisation with
+    | Ximd_machine.Memory.Distributed _ -> [ "organisation=distributed" ]
+    | Ximd_machine.Memory.Shared -> []
+  in
+  Printf.sprintf "; conf: %s\n" (String.concat " " parts)
+
+let cmd_save args =
+  let seed = ref 0 and index = ref 0 and name = ref "" and dir = ref "suites" in
+  let _ =
+    parse_options
+      [ ("--seed", `Int (( := ) seed));
+        ("--index", `Int (( := ) index));
+        ("--name", `String (( := ) name));
+        ("--dir", `String (( := ) dir)) ]
+      args
+  in
+  if !name = "" then die "save needs --name";
+  let c = case_at ~seed:!seed ~index:!index in
+  let c = match shrink_case c with Some s -> s | None -> c in
+  let path = Filename.concat !dir (!name ^ ".xasm") in
+  write_file path (directives_for c ^ case_source c);
+  (match Ximd_gen.Conform.load path with
+   | Ok case ->
+     let expect = Ximd_gen.Conform.write_expect case in
+     Printf.printf "wrote %s and %s\n" path expect
+   | Error e -> die "saved %s but cannot load it back: %s" path e);
+  exit 0
+
+(* --- expect / suites -------------------------------------------------- *)
+
+let cmd_expect args =
+  let dir = ref "suites" in
+  let files =
+    parse_options [ ("--dir", `String (( := ) dir)) ] args
+  in
+  let files =
+    match files with [] -> Ximd_gen.Conform.discover !dir | fs -> fs
+  in
+  if files = [] then die "no .xasm files to generate sidecars for";
+  List.iter
+    (fun path ->
+      match Ximd_gen.Conform.load path with
+      | Error e -> die "%s" e
+      | Ok case ->
+        let expect = Ximd_gen.Conform.write_expect case in
+        Printf.printf "wrote %s\n" expect)
+    files;
+  exit 0
+
+let cmd_suites args =
+  let dir = ref "suites" in
+  let _ = parse_options [ ("--dir", `String (( := ) dir)) ] args in
+  let files = Ximd_gen.Conform.discover !dir in
+  if files = [] then die "no conformance cases under %s" !dir;
+  let failures = ref 0 in
+  List.iter
+    (fun path ->
+      match Ximd_gen.Conform.check_file path with
+      | Ok () -> Printf.printf "ok   %s\n" path
+      | Error e ->
+        incr failures;
+        Printf.printf "FAIL %s\n%s\n" path e)
+    files;
+  Printf.printf "suites: %d cases, %d failure%s\n" (List.length files)
+    !failures
+    (if !failures = 1 then "" else "s");
+  exit (if !failures > 0 then 1 else 0)
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "run" :: args -> cmd_run args
+  | _ :: "one" :: args -> cmd_one args
+  | _ :: "shrink" :: args -> cmd_shrink args
+  | _ :: "save" :: args -> cmd_save args
+  | _ :: "expect" :: args -> cmd_expect args
+  | _ :: "suites" :: args -> cmd_suites args
+  | _ :: ("help" | "--help" | "-h") :: _ | [ _ ] | [] ->
+    print_string usage;
+    exit 0
+  | _ :: cmd :: _ -> die "unknown command %s (try `fuzz help`)" cmd
