@@ -33,7 +33,8 @@ let quota_seconds () =
 let run_variant ?obs variant =
   match W.Workload.run ?obs variant with
   | Ximd_core.Run.Halted _, state -> state.Ximd_core.State.cycle
-  | Ximd_core.Run.Fuel_exhausted _, _ | Ximd_core.Run.Deadlocked _, _ ->
+  | Ximd_core.Run.Fuel_exhausted _, _ | Ximd_core.Run.Deadlocked _, _
+  | Ximd_core.Run.Budget_exceeded _, _ ->
     failwith "bench workload hung"
 
 let selected_workloads filter =
@@ -73,7 +74,8 @@ let minmax_ximd () = (minmax_workload ()).ximd
 let run_session session variant =
   match W.Workload.run_session session variant with
   | Ximd_core.Run.Halted _ -> ()
-  | Ximd_core.Run.Fuel_exhausted _ | Ximd_core.Run.Deadlocked _ ->
+  | Ximd_core.Run.Fuel_exhausted _ | Ximd_core.Run.Deadlocked _
+  | Ximd_core.Run.Budget_exceeded _ ->
     failwith "bench workload hung"
 
 (* Session reuse: the same minmax/xsim run on one reused session —
@@ -226,6 +228,49 @@ let run_micro ?(filter = []) () =
     (measure_tests tests)
 
 (* ------------------------------------------------------------------ *)
+(* Farm throughput: end-to-end jobs/sec through the supervised run
+   farm (spawn domains, dispatch, run, reorder, summarise) on a fixed
+   64-job minmax campaign, at 1, 2 and 4 worker domains.  Each sample
+   is a complete farm lifetime, so the figure includes domain spawn and
+   session construction — the cost a sweep actually pays. *)
+
+let farm_job_count = 64
+
+let farm_jobs () =
+  List.init farm_job_count (fun i ->
+    let line =
+      Printf.sprintf {|{"workload":"minmax","id":"bench-%d","seed":%d}|} i i
+    in
+    match Ximd_farm.Job.of_line ~index:i line with
+    | Ok job -> job
+    | Error e -> failwith ("bench farm job: " ^ e))
+
+let farm_rows () =
+  let jobs = farm_jobs () in
+  let time_once domains =
+    let t0 = Unix.gettimeofday () in
+    let records, summary = Ximd_farm.Farm.run_list ~domains jobs in
+    let dt = Unix.gettimeofday () -. t0 in
+    if List.length records <> farm_job_count then
+      failwith "bench farm: record count mismatch";
+    if summary.Ximd_farm.Record.max_exit_code <> 0 then
+      failwith "bench farm: campaign not clean";
+    dt
+  in
+  let quota = quota_seconds () in
+  List.map
+    (fun domains ->
+      ignore (time_once domains);
+      let best = ref infinity and spent = ref 0.0 in
+      while !spent < quota do
+        let dt = time_once domains in
+        spent := !spent +. dt;
+        if dt < !best then best := dt
+      done;
+      (domains, farm_job_count, float_of_int farm_job_count /. !best))
+    [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable simulator throughput baseline                      *)
 
 let bench_json_file = "BENCH_simulator.json"
@@ -291,10 +336,32 @@ let run_json ?(filter = []) () =
           name workload simulator cycles ns_per_run cycles_per_sec;
         first := false)
     cycle_counts;
+  Printf.fprintf oc "\n  ],\n";
+  (* Farm rows only make sense when minmax (the campaign workload) is
+     in the selection. *)
+  let farm =
+    if filter = [] || List.mem "minmax" filter then farm_rows () else []
+  in
+  Printf.fprintf oc "  \"farm\": [";
+  let first = ref true in
+  List.iter
+    (fun (domains, jobs, jobs_per_sec) ->
+      Printf.fprintf oc "%s\n    { \"name\": \"farm/minmax@%d\", \
+                         \"domains\": %d, \"jobs\": %d, \
+                         \"jobs_per_sec\": %.1f }"
+        (if !first then "" else ",")
+        domains domains jobs jobs_per_sec;
+      first := false)
+    farm;
   Printf.fprintf oc "\n  ]\n}\n";
   close_out oc;
   Printf.printf "wrote %s (%d entries)\n%!" bench_json_file
-    (List.length cycle_counts);
+    (List.length cycle_counts + List.length farm);
+  List.iter
+    (fun (domains, jobs, jobs_per_sec) ->
+      Printf.printf "farm/minmax@%-17d %8d jobs %16.0f jobs/sec\n%!" domains
+        jobs jobs_per_sec)
+    farm;
   List.iter
     (fun (name, workload, simulator, cycles) ->
       ignore workload;

@@ -59,6 +59,17 @@ let max_cycles_arg =
     value & opt int 1_000_000
     & info [ "max-cycles" ] ~docv:"N" ~doc:"Cycle fuel before giving up.")
 
+let cycle_budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cycle-budget" ] ~docv:"N"
+        ~doc:"Per-run cycle budget below the fuel: a run that reaches \
+              $(docv) cycles without halting stops and reports budget \
+              exceeded (exit code 6).  Unlike $(b,--max-cycles) — the \
+              machine's fuel, exit code 3 — this is a supervision \
+              limit; a budget at or above the fuel never fires.")
+
 let record_hazards_flag =
   Arg.(
     value & flag
@@ -289,7 +300,8 @@ let run_compare sim program compare_path compare_json ~max_cycles
             (Ximd_core.Run.exit_code cmp.Ximd_report.Compare.ximd.outcome)
             (Ximd_core.Run.exit_code cmp.Ximd_report.Compare.vliw.outcome)))
 
-let run_simulator sim path trace listing stats max_cycles record_hazards
+let run_simulator sim path trace listing stats max_cycles cycle_budget
+    record_hazards
     detect_deadlock deadlock_window inject repeat postmortem trace_events
     metrics_file profile timeline account_file critical_path profile_folded
     compare_file compare_json reg_inits mem_inits dump_regs dump_mem =
@@ -297,6 +309,11 @@ let run_simulator sim path trace listing stats max_cycles record_hazards
     Printf.eprintf "--repeat must be at least 1\n";
     exit 1
   end;
+  (match cycle_budget with
+   | Some b when b < 1 ->
+     Printf.eprintf "--cycle-budget must be at least 1\n";
+     exit 1
+   | Some _ | None -> ());
   match program_of_file path with
   | Error msg ->
     Printf.eprintf "%s\n" msg;
@@ -377,7 +394,10 @@ let run_simulator sim path trace listing stats max_cycles record_hazards
       else None
     in
     let run_once ?tracer () =
-      try Ximd_core.Session.run ?tracer ?watchdog ~setup session with
+      try
+        Ximd_core.Session.run ?tracer ?watchdog ?budget:cycle_budget ~setup
+          session
+      with
       | Ximd_machine.Hazard.Error event ->
         Printf.eprintf "hazard: %s\n"
           (Format.asprintf "%a" Ximd_machine.Hazard.pp_event event);
@@ -550,7 +570,8 @@ let simulator_term sim_term =
   Term.(
     const run_simulator
     $ sim_term $ file_arg $ trace_flag $ listing_flag $ stats_flag
-    $ max_cycles_arg $ record_hazards_flag $ detect_deadlock_flag
+    $ max_cycles_arg $ cycle_budget_arg $ record_hazards_flag
+    $ detect_deadlock_flag
     $ deadlock_window_arg $ inject_arg $ repeat_arg $ postmortem_arg
     $ trace_events_arg
     $ metrics_arg $ profile_flag $ timeline_flag $ account_arg

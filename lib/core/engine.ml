@@ -476,9 +476,24 @@ let validate model (state : State.t) =
         "T500.run: program is not bank-consistent (each bank has a single \
          sequencer; XIMD programs with finer partitions cannot run)"
 
-let run model ?tracer ?watchdog (state : State.t) =
+(* How often [run]'s supervision poll fires, in cycles.  A power of two
+   so the check is one mask on the hot path; the first poll lands on
+   cycle 0, before any work, so a poll that raises (a wall-clock
+   deadline already in the past) stops even a one-cycle run. *)
+let poll_interval = 512
+
+let run model ?tracer ?watchdog ?budget ?poll (state : State.t) =
   validate model state;
   let fuel = state.config.max_cycles in
+  (* The budget is a per-run limit below the configured fuel; a budget
+     at or above the fuel never fires (fuel wins, as before). *)
+  let budget_limit =
+    match budget with
+    | None -> max_int
+    | Some b ->
+      if b < 1 then invalid_arg "Engine.run: budget must be positive";
+      b
+  in
   let rec loop () =
     if State.all_halted state then begin
       Exec.drain_pipeline state;
@@ -487,7 +502,12 @@ let run model ?tracer ?watchdog (state : State.t) =
     end
     else if state.cycle >= fuel then
       Run.Fuel_exhausted { cycles = state.cycle }
+    else if state.cycle >= budget_limit then
+      Run.Budget_exceeded { cycles = state.cycle; budget = budget_limit }
     else begin
+      (match poll with
+       | Some f when state.cycle land (poll_interval - 1) = 0 -> f ()
+       | Some _ | None -> ());
       step model ?tracer state;
       match watchdog with
       | Some w when Watchdog.observe w state ->

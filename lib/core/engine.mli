@@ -62,11 +62,28 @@ val step : model -> ?tracer:Tracer.t -> State.t -> unit
     FUs have halted).  When [tracer] is given, the start-of-cycle state
     is recorded first. *)
 
+val poll_interval : int
+(** Cycles between consecutive [poll] calls in {!run} (a power of two;
+    the first poll fires at cycle 0). *)
+
 val run :
-  model -> ?tracer:Tracer.t -> ?watchdog:Watchdog.t -> State.t -> Run.outcome
-(** Steps until all FUs halt, the configured fuel runs out, or (when
-    [watchdog] is given) a deadlock is established — see {!Watchdog}.
-    Checks the model's structural requirements first:
+  model ->
+  ?tracer:Tracer.t ->
+  ?watchdog:Watchdog.t ->
+  ?budget:int ->
+  ?poll:(unit -> unit) ->
+  State.t ->
+  Run.outcome
+(** Steps until all FUs halt, the configured fuel runs out, the
+    optional per-run cycle [budget] is exceeded, or (when [watchdog] is
+    given) a deadlock is established — see {!Watchdog}.  [budget] is a
+    resource limit below the configured [max_cycles]: when it elapses
+    first the outcome is {!Run.Budget_exceeded} (a budget at or above
+    the fuel never fires).  [poll], when given, is called every
+    {!poll_interval} cycles (first at cycle 0) so a supervisor can
+    enforce wall-clock deadlines — whatever it raises escapes [run]
+    unchanged.  Checks the model's structural requirements first:
     @raise Invalid_argument under [Global] if the program is not
-    control-consistent, or under [Banked] if the FU count is odd or
-    below 2 or the program is not bank-consistent. *)
+    control-consistent, under [Banked] if the FU count is odd or
+    below 2 or the program is not bank-consistent, or if [budget] is
+    not positive. *)

@@ -6,18 +6,19 @@ type outcome =
   | Halted of { cycles : int }
   | Fuel_exhausted of { cycles : int }
   | Deadlocked of { cycles : int; spinning : waiting list }
+  | Budget_exceeded of { cycles : int; budget : int }
 
 let cycles = function
   | Halted { cycles } | Fuel_exhausted { cycles } | Deadlocked { cycles; _ }
-    ->
+  | Budget_exceeded { cycles; _ } ->
     cycles
 
 let completed = function
   | Halted _ -> true
-  | Fuel_exhausted _ | Deadlocked _ -> false
+  | Fuel_exhausted _ | Deadlocked _ | Budget_exceeded _ -> false
 
 let spinning = function
-  | Halted _ | Fuel_exhausted _ -> []
+  | Halted _ | Fuel_exhausted _ | Budget_exceeded _ -> []
   | Deadlocked { spinning; _ } -> spinning
 
 (* The one table the CLIs (--help EXIT STATUS), the README and the
@@ -30,12 +31,19 @@ let exit_codes =
     (2, "hazard (default Raise policy)");
     (3, "fuel exhausted");
     (4, "deadlocked");
-    (5, "hazards recorded (--record-hazards)") ]
+    (5, "hazards recorded (--record-hazards)");
+    (6, "cycle budget exceeded (--cycle-budget)");
+    (7, "job crashed (ximd serve)") ]
 
 let exit_code = function
   | Halted _ -> 0
   | Fuel_exhausted _ -> 3
   | Deadlocked _ -> 4
+  | Budget_exceeded _ -> 6
+
+(* Code 7 has no {!outcome} constructor: it is produced by the run farm
+   when an exception escapes a job (see lib/farm). *)
+let job_crashed_exit_code = 7
 
 let pp_waiting fmt { fu; pc; cond } =
   Format.fprintf fmt "FU%d@@%02x: on %a" fu pc Ximd_isa.Cond.pp cond
@@ -50,3 +58,6 @@ let pp fmt = function
          ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
          pp_waiting)
       spinning
+  | Budget_exceeded { cycles; budget } ->
+    Format.fprintf fmt "cycle budget of %d exceeded after %d cycles" budget
+      cycles

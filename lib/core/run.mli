@@ -14,6 +14,10 @@ type outcome =
       (** the {!Watchdog} established that no live FU can ever make
           progress again: every one is pinned on a condition whose
           inputs no other FU will change *)
+  | Budget_exceeded of { cycles : int; budget : int }
+      (** a caller-supplied per-run cycle budget (smaller than the
+          configured fuel) elapsed first — the resource-limit outcome
+          the run-farm supervisor (lib/farm) gives every job *)
 
 val cycles : outcome -> int
 val completed : outcome -> bool
@@ -29,8 +33,13 @@ val exit_codes : (int * string) list
 
 val exit_code : outcome -> int
 (** The exit code a simulator CLI reports for this outcome: 0 halted,
-    3 fuel exhausted, 4 deadlocked.  (Codes 1, 2 and 5 arise from input
-    validation, hazards and [--record-hazards], not from the outcome.) *)
+    3 fuel exhausted, 4 deadlocked, 6 cycle budget exceeded.  (Codes 1,
+    2, 5 and 7 arise from input validation, hazards,
+    [--record-hazards] and farm job crashes, not from the outcome.) *)
+
+val job_crashed_exit_code : int
+(** Exit code 7 — an exception escaped a run-farm job (lib/farm); there
+    is no [outcome] constructor for it because the run never finished. *)
 
 val pp_waiting : Format.formatter -> waiting -> unit
 val pp : Format.formatter -> outcome -> unit

@@ -15,8 +15,8 @@ let runs t = t.runs
    initialisation, go.  Resetting a freshly created state is a semantic
    no-op, so the first run is indistinguishable from a run on a
    one-shot state. *)
-let run ?tracer ?watchdog ?program ?setup t =
+let run ?tracer ?watchdog ?budget ?poll ?program ?setup t =
   State.reset ?program t.state;
   (match setup with None -> () | Some f -> f t.state);
   t.runs <- t.runs + 1;
-  Engine.run t.model ?tracer ?watchdog t.state
+  Engine.run t.model ?tracer ?watchdog ?budget ?poll t.state

@@ -36,6 +36,8 @@ val create :
 val run :
   ?tracer:Tracer.t ->
   ?watchdog:Watchdog.t ->
+  ?budget:int ->
+  ?poll:(unit -> unit) ->
   ?program:Program.t ->
   ?setup:(State.t -> unit) ->
   t ->
@@ -43,8 +45,10 @@ val run :
 (** One complete run: {!State.reset} (swapping in [program] if given),
     then [setup] (register/memory/port initialisation — the state is
     freshly zeroed, so initialisation must be reapplied on every run),
-    then {!Engine.run} under the session's model.  A run on a session is
-    indistinguishable from a run on a freshly created state.
+    then {!Engine.run} under the session's model.  [budget] and [poll]
+    are the per-run resource-limit and supervision hooks of
+    {!Engine.run}.  A run on a session is indistinguishable from a run
+    on a freshly created state.
     @raise Invalid_argument as {!State.reset} and {!Engine.run}. *)
 
 val state : t -> State.t

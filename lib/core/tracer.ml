@@ -8,16 +8,43 @@ type row = {
   partition : Partition.t;
 }
 
-type t = { mutable rows : row list (* reverse order *); mutable n : int }
+type t = {
+  mutable rows : row list; (* reverse order, at most [limit] long *)
+  mutable n : int; (* rows currently held *)
+  mutable dropped : int;
+  limit : int; (* max_int = unbounded *)
+}
 
-let create () = { rows = []; n = 0 }
+let create ?limit () =
+  let limit =
+    match limit with
+    | None -> max_int
+    | Some l ->
+      if l < 1 then invalid_arg "Tracer.create: limit must be positive";
+      l
+  in
+  { rows = []; n = 0; dropped = 0; limit }
+
+(* Bounded tracers keep the newest [limit] rows: the tail of a wedged or
+   budget-busted run is the diagnostic part.  Dropping the oldest row is
+   O(n) list surgery, but it only triggers past the limit — the
+   unbounded default never pays it. *)
+let rec drop_last = function
+  | [] | [ _ ] -> []
+  | r :: rest -> r :: drop_last rest
 
 let record t row =
+  if t.n = t.limit then begin
+    t.rows <- drop_last t.rows;
+    t.n <- t.n - 1;
+    t.dropped <- t.dropped + 1
+  end;
   t.rows <- row :: t.rows;
   t.n <- t.n + 1
 
 let rows t = List.rev t.rows
 let length t = t.n
+let dropped t = t.dropped
 
 let snapshot (state : State.t) =
   let n = State.n_fus state in

@@ -17,10 +17,20 @@ type row = {
 
 type t
 
-val create : unit -> t
+val create : ?limit:int -> unit -> t
+(** [limit] bounds the number of rows held: past it, the oldest row is
+    dropped for each new one, so a trace of a wedged or budget-busted
+    run keeps the (diagnostic) tail and bounded memory.  Omitted, the
+    trace is unbounded, as before.
+    @raise Invalid_argument if [limit] is not positive. *)
+
 val record : t -> row -> unit
 val rows : t -> row list
 val length : t -> int
+
+val dropped : t -> int
+(** Rows discarded to honour the [limit] — non-zero means {!rows} is
+    the truncated tail, not the whole run. *)
 
 val snapshot : State.t -> row
 (** Captures the start-of-cycle state of a machine. *)

@@ -46,7 +46,11 @@ let create ?(window = default_window) () =
 
 let reset t =
   t.quiet <- 0;
-  t.pos <- 0
+  t.pos <- 0;
+  (* forget the previous run's progress meter: if it happened to equal
+     the next run's, the first observe would count as quiet instead of
+     syncing, and detection latency would depend on watchdog reuse *)
+  t.last_progress <- min_int
 
 let window t = t.window
 

@@ -1,0 +1,38 @@
+(** Minimal dependency-free JSON: enough to parse line-delimited job
+    specs and print byte-stable result records.
+
+    Objects preserve field order (parse order in, given order out), so
+    printing is deterministic — the property the farm's golden result
+    streams rely on.  Integers that fit an OCaml [int] parse as [Int];
+    anything with a fraction or exponent parses as [Float]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parses one JSON document.  Errors name the byte offset and what was
+    expected; trailing non-whitespace after the document is an error. *)
+
+val to_string : t -> string
+(** Compact (no whitespace) rendering; object fields in list order;
+    strings escaped per RFC 8259 with [\uXXXX] for control characters. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on anything else or when absent. *)
+
+val keys : t -> string list
+(** Field names of an [Obj], in order; [[]] on anything else. *)
+
+val to_int : t -> int option
+(** [Int n] (and [Float f] when integral) as an int. *)
+
+val to_str : t -> string option
+val to_bool : t -> bool option

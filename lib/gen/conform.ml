@@ -39,71 +39,135 @@ module Observation = Ximd_ref.Observation
    [seq=research|prototype], [models] (comma-separated subset of
    xsim/vsim/t500; default all applicable). *)
 
-type directives = (string * string) list
+(* Every binding remembers the line it came from, so diagnostics for a
+   bad value can name it; the loader never raises on malformed input. *)
+type directives = (string * (int * string)) list
 
-let parse_directives source : directives =
-  String.split_on_char '\n' source
-  |> List.concat_map (fun line ->
-       let line = String.trim line in
-       let prefix = "; conf:" in
-       if String.length line > String.length prefix
-          && String.sub line 0 (String.length prefix) = prefix
-       then
-         String.sub line (String.length prefix)
-           (String.length line - String.length prefix)
-         |> String.split_on_char ' '
-         |> List.filter_map (fun tok ->
-              match String.index_opt tok '=' with
-              | None -> None
-              | Some i ->
-                Some
-                  ( String.sub tok 0 i,
-                    String.sub tok (i + 1) (String.length tok - i - 1) ))
-       else [])
+let known_directive_keys =
+  [ "fuel"; "latency"; "mem"; "organisation"; "ports"; "seq"; "models" ]
+
+let ( let* ) = Result.bind
+
+let parse_directives source : (directives, string) result =
+  let lines = String.split_on_char '\n' source in
+  let prefix = "; conf:" in
+  List.fold_left
+    (fun acc (lineno, line) ->
+      let* acc = acc in
+      let line = String.trim line in
+      if
+        String.length line <= String.length prefix
+        || String.sub line 0 (String.length prefix) <> prefix
+      then Ok acc
+      else
+        String.sub line (String.length prefix)
+          (String.length line - String.length prefix)
+        |> String.split_on_char ' '
+        |> List.filter (fun tok -> tok <> "")
+        |> List.fold_left
+             (fun acc tok ->
+               let* acc = acc in
+               match String.index_opt tok '=' with
+               | None ->
+                 Error
+                   (Printf.sprintf
+                      "line %d: conf directive token %S is not key=value"
+                      lineno tok)
+               | Some i ->
+                 let key = String.sub tok 0 i in
+                 let value =
+                   String.sub tok (i + 1) (String.length tok - i - 1)
+                 in
+                 if not (List.mem key known_directive_keys) then
+                   Error
+                     (Printf.sprintf
+                        "line %d: unknown conf key %S (known: %s)" lineno key
+                        (String.concat ", " known_directive_keys))
+                 else (
+                   match List.assoc_opt key acc with
+                   | Some (first, _) ->
+                     Error
+                       (Printf.sprintf
+                          "line %d: duplicate conf key %S (first set on \
+                           line %d)"
+                          lineno key first)
+                   | None -> Ok (acc @ [ (key, (lineno, value)) ])))
+             (Ok acc))
+    (Ok [])
+    (List.mapi (fun i line -> (i + 1, line)) lines)
 
 let directive_int directives key ~default =
   match List.assoc_opt key directives with
-  | None -> default
-  | Some v -> (
+  | None -> Ok default
+  | Some (lineno, v) -> (
     match int_of_string_opt v with
-    | Some n -> n
-    | None -> failwith (Printf.sprintf "conf: %s=%s is not a number" key v))
+    | Some n -> Ok n
+    | None ->
+      Error
+        (Printf.sprintf "line %d: conf key %S: %S is not a number" lineno key
+           v))
 
 let config_of_directives directives ~n_fus =
-  let mem_words = directive_int directives "mem" ~default:65536 in
-  let mem_organisation =
+  let* mem_words = directive_int directives "mem" ~default:65536 in
+  let* mem_organisation =
     match List.assoc_opt "organisation" directives with
-    | Some "distributed" -> Ximd_machine.Memory.Distributed { n_fus }
-    | Some "shared" | None -> Ximd_machine.Memory.Shared
-    | Some other -> failwith ("conf: unknown organisation " ^ other)
+    | Some (_, "distributed") -> Ok (Ximd_machine.Memory.Distributed { n_fus })
+    | Some (_, "shared") | None -> Ok Ximd_machine.Memory.Shared
+    | Some (lineno, other) ->
+      Error
+        (Printf.sprintf
+           "line %d: conf key \"organisation\": expected \"shared\" or \
+            \"distributed\" (got %S)"
+           lineno other)
   in
-  let sequencer =
+  let* sequencer =
     match List.assoc_opt "seq" directives with
-    | Some "prototype" -> Config.Prototype
-    | Some "research" | None -> Config.Research
-    | Some other -> failwith ("conf: unknown sequencer " ^ other)
+    | Some (_, "prototype") -> Ok Config.Prototype
+    | Some (_, "research") | None -> Ok Config.Research
+    | Some (lineno, other) ->
+      Error
+        (Printf.sprintf
+           "line %d: conf key \"seq\": expected \"research\" or \
+            \"prototype\" (got %S)"
+           lineno other)
   in
-  Config.make ~n_fus ~mem_words ~mem_organisation
-    ~n_ports:(directive_int directives "ports" ~default:16)
-    ~hazard_policy:Ximd_machine.Hazard.Record
-    ~max_cycles:(directive_int directives "fuel" ~default:2000)
-    ~sequencer
-    ~result_latency:(directive_int directives "latency" ~default:1)
-    ()
+  let* n_ports = directive_int directives "ports" ~default:16 in
+  let* max_cycles = directive_int directives "fuel" ~default:2000 in
+  let* result_latency = directive_int directives "latency" ~default:1 in
+  match
+    Config.make ~n_fus ~mem_words ~mem_organisation ~n_ports
+      ~hazard_policy:Ximd_machine.Hazard.Record ~max_cycles ~sequencer
+      ~result_latency ()
+  with
+  | config -> Ok config
+  | exception Invalid_argument msg ->
+    let lineno =
+      (* blame the first conf line if any; the shape came from there *)
+      match directives with (_, (l, _)) :: _ -> l | [] -> 0
+    in
+    Error (Printf.sprintf "line %d: conf: %s" lineno msg)
 
 let models_of_directives directives program =
   let applicable = Diff.applicable_models program in
   match List.assoc_opt "models" directives with
-  | None -> applicable
-  | Some spec ->
-    let named =
+  | None -> Ok applicable
+  | Some (lineno, spec) ->
+    let* named =
       String.split_on_char ',' spec
-      |> List.map (fun name ->
-           match Diff.model_of_name (String.trim name) with
-           | Some m -> m
-           | None -> failwith ("conf: unknown model " ^ name))
+      |> List.fold_left
+           (fun acc name ->
+             let* acc = acc in
+             match Diff.model_of_name (String.trim name) with
+             | Some m -> Ok (m :: acc)
+             | None ->
+               Error
+                 (Printf.sprintf
+                    "line %d: conf key \"models\": unknown model %S" lineno
+                    name))
+           (Ok [])
+      |> Result.map List.rev
     in
-    List.filter (fun m -> List.mem m applicable) named
+    Ok (List.filter (fun m -> List.mem m applicable) named)
 
 (* --- Loading ---------------------------------------------------------- *)
 
@@ -115,32 +179,44 @@ type case = {
 }
 
 let read_file path =
-  In_channel.with_open_text path In_channel.input_all
+  match In_channel.with_open_text path In_channel.input_all with
+  | contents -> Ok contents
+  | exception Sys_error msg -> Error msg
 
 let load path =
-  let source = read_file path in
-  match Ximd_asm.Source.parse source with
-  | Error e ->
-    Error
-      (Format.asprintf "%s: parse error: %a" path Ximd_asm.Source.pp_error e)
-  | Ok program -> (
-    match
-      let directives = parse_directives source in
-      let config =
-        config_of_directives directives
-          ~n_fus:(Core.Program.n_fus program)
+  let prefix e = path ^ ": " ^ e in
+  match read_file path with
+  | Error msg -> Error msg
+  | Ok source -> (
+    match Ximd_asm.Source.parse source with
+    | Error e ->
+      Error
+        (Format.asprintf "%s: parse error: %a" path Ximd_asm.Source.pp_error
+           e)
+    | Ok program -> (
+      let case =
+        let* directives =
+          Result.map_error prefix (parse_directives source)
+        in
+        let* config =
+          Result.map_error prefix
+            (config_of_directives directives
+               ~n_fus:(Core.Program.n_fus program))
+        in
+        let* models =
+          Result.map_error prefix (models_of_directives directives program)
+        in
+        Ok { path; program; config; models }
       in
-      let models = models_of_directives directives program in
-      { path; program; config; models }
-    with
-    | case -> (
-      match Core.Program.validate case.program case.config with
-      | Ok () -> Ok case
-      | Error errors ->
-        Error
-          (Printf.sprintf "%s: invalid program:\n%s" path
-             (String.concat "\n" errors)))
-    | exception Failure msg -> Error (Printf.sprintf "%s: %s" path msg))
+      match case with
+      | Error _ as e -> e
+      | Ok case -> (
+        match Core.Program.validate case.program case.config with
+        | Ok () -> Ok case
+        | Error errors ->
+          Error
+            (Printf.sprintf "%s: invalid program:\n%s" path
+               (String.concat "\n" errors)))))
 
 let expect_path path =
   (try Filename.chop_extension path with Invalid_argument _ -> path)
@@ -172,10 +248,15 @@ let write_expect case =
 let check_case case =
   let errors = ref [] in
   let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
-  (match Sys.file_exists (expect_path case.path) with
-   | false -> err "%s: missing sidecar %s" case.path (expect_path case.path)
-   | true ->
-     let expected = read_file (expect_path case.path) in
+  (match read_file (expect_path case.path) with
+   | Error _ when not (Sys.file_exists (expect_path case.path)) ->
+     err
+       "%s: missing sidecar %s (generate it with `tools/fuzz expect %s`)"
+       case.path (expect_path case.path) case.path
+   | Error msg ->
+     err "%s: cannot read sidecar %s: %s" case.path (expect_path case.path)
+       msg
+   | Ok expected ->
      let actual = expected_content case in
      if expected <> actual then
        err

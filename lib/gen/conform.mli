@@ -7,10 +7,19 @@
     (keys: [fuel], [latency], [mem], [organisation], [ports], [seq],
     [models]); see the implementation header for the sidecar format. *)
 
-type directives = (string * string) list
+type directives = (string * (int * string)) list
+(** key -> (source line, value); the line makes value diagnostics
+    precise. *)
 
-val parse_directives : string -> directives
-val config_of_directives : directives -> n_fus:int -> Ximd_core.Config.t
+val parse_directives : string -> (directives, string) result
+(** Strict: a [; conf:] token that is not [key=value], an unknown key,
+    or a duplicate key is a structured [Error] naming the line — never
+    an exception. *)
+
+val config_of_directives :
+  directives -> n_fus:int -> (Ximd_core.Config.t, string) result
+(** Bad values (non-numeric, unknown enum, out-of-range machine shape)
+    are structured errors naming the offending line. *)
 
 type case = {
   path : string;
@@ -20,7 +29,9 @@ type case = {
 }
 
 val load : string -> (case, string) result
-(** Parse, read directives, validate. *)
+(** Parse, read directives, validate.  Unreadable files, malformed
+    directives and invalid configurations all return [Error] with the
+    file (and where known the line) named; {!load} never raises. *)
 
 val expect_path : string -> string
 (** [foo.xasm] -> [foo.expect]. *)

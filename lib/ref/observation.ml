@@ -31,6 +31,10 @@ let outcome_string (o : Ximd_core.Run.outcome) =
     Printf.sprintf "fuel-exhausted/%d" cycles
   | Ximd_core.Run.Deadlocked { cycles; _ } ->
     Printf.sprintf "deadlocked/%d" cycles
+  (* the reference interpreter runs without a budget, but the type is
+     total so observations of budgeted engine runs still render *)
+  | Ximd_core.Run.Budget_exceeded { cycles; _ } ->
+    Printf.sprintf "budget-exceeded/%d" cycles
 
 let row_equal a b =
   a.cycle = b.cycle

@@ -219,7 +219,8 @@ let a5_exposed_pipeline fmt =
               latency latency got
               (if got = 63 then "correct" else "WRONG")
               cycles compiled.static_rows
-          | Ximd_core.Run.Fuel_exhausted _ | Ximd_core.Run.Deadlocked _ ->
+          | Ximd_core.Run.Fuel_exhausted _ | Ximd_core.Run.Deadlocked _
+          | Ximd_core.Run.Budget_exceeded _ ->
             Format.fprintf fmt "  latency %d: hung@," latency)))
     [ 1; 2; 3 ]
 
@@ -265,7 +266,8 @@ let a6_pipelined_codegen fmt =
           in
           match Ximd_core.Session.run ~program ~setup session with
           | Ximd_core.Run.Halted { cycles } -> Some cycles
-          | Ximd_core.Run.Fuel_exhausted _ | Ximd_core.Run.Deadlocked _ ->
+          | Ximd_core.Run.Fuel_exhausted _ | Ximd_core.Run.Deadlocked _
+          | Ximd_core.Run.Budget_exceeded _ ->
             None
         in
         let pipelined =

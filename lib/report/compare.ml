@@ -105,6 +105,7 @@ let outcome_name = function
   | Core.Run.Halted _ -> "halted"
   | Core.Run.Fuel_exhausted _ -> "fuel_exhausted"
   | Core.Run.Deadlocked _ -> "deadlocked"
+  | Core.Run.Budget_exceeded _ -> "budget_exceeded"
 
 let side_json s =
   let buf = Buffer.create 1024 in

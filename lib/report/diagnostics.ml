@@ -144,6 +144,11 @@ let json_of_outcome = function
       [ ("kind", jstr "deadlocked");
         ("cycles", string_of_int cycles);
         ("spinning", jlist (List.map json_of_waiting spinning)) ]
+  | Core.Run.Budget_exceeded { cycles; budget } ->
+    jobj
+      [ ("kind", jstr "budget_exceeded");
+        ("cycles", string_of_int cycles);
+        ("budget", string_of_int budget) ]
 
 let json_of_fu r =
   jobj

@@ -40,6 +40,10 @@ let run_checked ?tracer ?watchdog ?obs variant =
     Error (Printf.sprintf "fuel exhausted after %d cycles" cycles)
   | Run.Deadlocked { cycles; _ } ->
     Error (Printf.sprintf "deadlocked after %d cycles" cycles)
+  | Run.Budget_exceeded { cycles; budget } ->
+    Error
+      (Printf.sprintf "cycle budget of %d exceeded after %d cycles" budget
+         cycles)
   | Run.Halted _ -> (
     match variant.check state with
     | Ok () -> Ok (outcome, state)

@@ -72,7 +72,8 @@ let prop_commit_matches_commit_ops =
       | Core.Run.Halted _, state, acct ->
         A.total acct A.Commit = state.Core.State.stats.commit_ops
         && A.total acct A.Commit = state.Core.State.stats.data_ops
-      | (Core.Run.Fuel_exhausted _ | Core.Run.Deadlocked _), _, _ -> false)
+      | (Core.Run.Fuel_exhausted _ | Core.Run.Deadlocked _
+        | Core.Run.Budget_exceeded _), _, _ -> false)
 
 (* A spinning stream wastes one slot per live MEMBER per cycle, not one
    per sequencer: under the global sequencer a 2-FU spin must charge 2

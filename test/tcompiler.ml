@@ -25,7 +25,8 @@ let run_compiled ?(sim = `Vliw) (compiled : C.Codegen.compiled) ~args
   in
   (match outcome with
    | Ximd_core.Run.Halted _ -> ()
-   | Ximd_core.Run.Fuel_exhausted _ | Ximd_core.Run.Deadlocked _ ->
+   | Ximd_core.Run.Fuel_exhausted _ | Ximd_core.Run.Deadlocked _
+   | Ximd_core.Run.Budget_exceeded _ ->
      Alcotest.fail "compiled program hung");
   ( List.map
       (fun (_, reg) -> Ximd_machine.Regfile.read state.regs reg)

@@ -143,18 +143,67 @@ let test_shrink_reaches_minimum () =
 
 let test_directives_roundtrip () =
   let d =
-    Conform.parse_directives
-      "; a comment\n; conf: fuel=123 latency=2 mem=64\n; conf: seq=prototype\nbody"
+    match
+      Conform.parse_directives
+        "; a comment\n\
+         ; conf: fuel=123 latency=2 mem=64\n\
+         ; conf: seq=prototype\n\
+         body"
+    with
+    | Ok d -> d
+    | Error e -> Alcotest.fail e
   in
-  Alcotest.(check (option string)) "fuel" (Some "123") (List.assoc_opt "fuel" d);
-  Alcotest.(check (option string)) "latency" (Some "2")
-    (List.assoc_opt "latency" d);
-  Alcotest.(check (option string)) "seq" (Some "prototype")
-    (List.assoc_opt "seq" d);
-  let config = Conform.config_of_directives d ~n_fus:2 in
-  Alcotest.(check int) "max_cycles" 123 config.Ximd_core.Config.max_cycles;
-  Alcotest.(check int) "result_latency" 2
-    config.Ximd_core.Config.result_latency
+  let value key = Option.map snd (List.assoc_opt key d) in
+  Alcotest.(check (option string)) "fuel" (Some "123") (value "fuel");
+  Alcotest.(check (option string)) "latency" (Some "2") (value "latency");
+  Alcotest.(check (option string)) "seq" (Some "prototype") (value "seq");
+  Alcotest.(check (option int)) "seq line" (Some 3)
+    (Option.map fst (List.assoc_opt "seq" d));
+  match Conform.config_of_directives d ~n_fus:2 with
+  | Error e -> Alcotest.fail e
+  | Ok config ->
+    Alcotest.(check int) "max_cycles" 123 config.Ximd_core.Config.max_cycles;
+    Alcotest.(check int) "result_latency" 2
+      config.Ximd_core.Config.result_latency
+
+(* The loader hardening contract: malformed directives are structured
+   errors naming the line, never exceptions. *)
+let test_directives_malformed () =
+  let contains haystack needle =
+    let nh = String.length haystack and nn = String.length needle in
+    let rec go i =
+      i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+    in
+    go 0
+  in
+  let expect_error what source pattern =
+    match Conform.parse_directives source with
+    | Ok _ -> Alcotest.failf "%s: expected an error" what
+    | Error e ->
+      if not (contains e pattern) then
+        Alcotest.failf "%s: error %S does not mention %S" what e pattern
+  in
+  expect_error "bare token" "; conf: fuel\n" "line 1";
+  expect_error "unknown key" "x\n; conf: fule=2\n" "unknown conf key";
+  expect_error "unknown key line" "x\n; conf: fule=2\n" "line 2";
+  expect_error "duplicate key" "; conf: fuel=1\n; conf: fuel=2\n"
+    "duplicate conf key";
+  (match Conform.parse_directives "; conf: fuel=abc\n" with
+   | Error e -> Alcotest.failf "value errors belong to config_of: %s" e
+   | Ok d -> (
+     match Conform.config_of_directives d ~n_fus:2 with
+     | Ok _ -> Alcotest.fail "fuel=abc: expected an error"
+     | Error e ->
+       Alcotest.(check bool) "names the line" true
+         (String.length e >= 6 && String.sub e 0 6 = "line 1")));
+  (* out-of-range machine shape: Config.make's Invalid_argument is
+     caught and converted *)
+  match Conform.parse_directives "; conf: latency=99\n" with
+  | Error e -> Alcotest.fail e
+  | Ok d -> (
+    match Conform.config_of_directives d ~n_fus:2 with
+    | Ok _ -> Alcotest.fail "latency=99: expected an error"
+    | Error _ -> ())
 
 let suite =
   [ ( "generator library",
@@ -165,7 +214,9 @@ let suite =
         Alcotest.test_case "applicable models" `Quick test_applicable_models;
         Alcotest.test_case "shrink to minimum" `Quick
           test_shrink_reaches_minimum;
-        Alcotest.test_case "conf directives" `Quick test_directives_roundtrip ]
+        Alcotest.test_case "conf directives" `Quick test_directives_roundtrip;
+        Alcotest.test_case "conf directives: malformed are structured errors"
+          `Quick test_directives_malformed ]
       @ List.map to_alcotest
           [ prop_valid_program_validates;
             prop_case_validates;

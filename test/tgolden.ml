@@ -12,7 +12,8 @@ let test_figure10 () =
   let outcome, state = Workload.run ~tracer (Minmax.paper_variant ()) in
   (match outcome with
    | Ximd_core.Run.Fuel_exhausted { cycles } -> check_int "cycles" 14 cycles
-   | Ximd_core.Run.Halted _ | Ximd_core.Run.Deadlocked _ ->
+   | Ximd_core.Run.Halted _ | Ximd_core.Run.Deadlocked _
+   | Ximd_core.Run.Budget_exceeded _ ->
      Alcotest.fail "paper listing spins at 0a:, must not halt");
   let rows = Ximd_core.Tracer.rows tracer in
   check_int "trace length" (List.length Minmax.figure10_expected)

@@ -25,7 +25,8 @@ let run_pipelined (k : C.Kernelgen.t) ~trip ~inputs ~mem =
   List.iter (fun (a, v) -> Ximd_core.State.mem_set state a v) mem;
   match Ximd_core.Xsim.run state with
   | Ximd_core.Run.Halted _ -> state
-  | Ximd_core.Run.Fuel_exhausted _ | Ximd_core.Run.Deadlocked _ ->
+  | Ximd_core.Run.Fuel_exhausted _ | Ximd_core.Run.Deadlocked _
+   | Ximd_core.Run.Budget_exceeded _ ->
     Alcotest.fail "pipelined loop hung"
 
 let run_rolled ~trip ~induction ~live_out ~inputs ~mem ops =

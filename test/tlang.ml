@@ -26,7 +26,8 @@ let run ?(mem = []) compiled args =
     mem;
   (match Ximd_core.Xsim.run state with
    | Ximd_core.Run.Halted _ -> ()
-   | Ximd_core.Run.Fuel_exhausted _ | Ximd_core.Run.Deadlocked _ ->
+   | Ximd_core.Run.Fuel_exhausted _ | Ximd_core.Run.Deadlocked _
+   | Ximd_core.Run.Budget_exceeded _ ->
      Alcotest.fail "program hung");
   ( List.map
       (fun (_, reg) ->

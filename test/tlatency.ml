@@ -44,7 +44,8 @@ let run_on ~result_latency (compiled : C.Codegen.compiled) args =
     [ 320; 321 ];
   (match Ximd_core.Xsim.run state with
    | Ximd_core.Run.Halted { cycles } -> ignore cycles
-   | Ximd_core.Run.Fuel_exhausted _ | Ximd_core.Run.Deadlocked _ ->
+   | Ximd_core.Run.Fuel_exhausted _ | Ximd_core.Run.Deadlocked _
+   | Ximd_core.Run.Budget_exceeded _ ->
      Alcotest.fail "hung");
   List.map
     (fun (_, reg) -> Ximd_machine.Regfile.read state.regs reg)

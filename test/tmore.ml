@@ -145,7 +145,8 @@ let test_trace_store_not_speculated () =
      | _ -> Alcotest.fail "one param");
     (match Ximd_core.Xsim.run state with
      | Ximd_core.Run.Halted _ -> ()
-     | Ximd_core.Run.Fuel_exhausted _ | Ximd_core.Run.Deadlocked _ ->
+     | Ximd_core.Run.Fuel_exhausted _ | Ximd_core.Run.Deadlocked _
+   | Ximd_core.Run.Budget_exceeded _ ->
        Alcotest.fail "hung");
     Alcotest.check value "no speculative store" Value.zero
       (Ximd_core.State.mem_get state 500);

@@ -355,7 +355,10 @@ let test_exit_code_of_outcome () =
   check_int "fuel" 3
     (Core.Run.exit_code (Core.Run.Fuel_exhausted { cycles = 1 }));
   check_int "deadlock" 4
-    (Core.Run.exit_code (Core.Run.Deadlocked { cycles = 1; spinning = [] }))
+    (Core.Run.exit_code (Core.Run.Deadlocked { cycles = 1; spinning = [] }));
+  check_int "budget" 6
+    (Core.Run.exit_code (Core.Run.Budget_exceeded { cycles = 7; budget = 7 }));
+  check_int "job crashed" 7 Core.Run.job_crashed_exit_code
 
 (* --- Sink reset reuse ---------------------------------------------------- *)
 

@@ -68,7 +68,8 @@ let prop_xsim_equals_vsim =
         match sim state with
         | Ximd_core.Run.Halted { cycles } ->
           Some (cycles, Ximd_machine.Regfile.dump state.regs)
-        | Ximd_core.Run.Fuel_exhausted _ | Ximd_core.Run.Deadlocked _ ->
+        | Ximd_core.Run.Fuel_exhausted _ | Ximd_core.Run.Deadlocked _
+   | Ximd_core.Run.Budget_exceeded _ ->
           None
       in
       match
@@ -285,7 +286,8 @@ let prop_compile_matches_interp =
             compiled.param_regs args;
           List.iter (fun (a, v) -> Ximd_core.State.mem_set state a v) mem;
           match Ximd_core.Vsim.run state with
-          | Ximd_core.Run.Fuel_exhausted _ | Ximd_core.Run.Deadlocked _ ->
+          | Ximd_core.Run.Fuel_exhausted _ | Ximd_core.Run.Deadlocked _
+   | Ximd_core.Run.Budget_exceeded _ ->
             false
           | Ximd_core.Run.Halted _ ->
             let results_match =
@@ -366,7 +368,8 @@ let prop_kernelgen_matches_rolled =
             | None -> ())
           inputs;
         match Ximd_core.Xsim.run state with
-        | Ximd_core.Run.Fuel_exhausted _ | Ximd_core.Run.Deadlocked _ ->
+        | Ximd_core.Run.Fuel_exhausted _ | Ximd_core.Run.Deadlocked _
+   | Ximd_core.Run.Budget_exceeded _ ->
           false
         | Ximd_core.Run.Halted _ -> (
           let trip_vreg = 99 in

@@ -87,7 +87,8 @@ let test_two_processes_run () =
   setup state regs;
   (match Ximd_core.T500.run state with
    | Ximd_core.Run.Halted _ -> ()
-   | Ximd_core.Run.Fuel_exhausted _ | Ximd_core.Run.Deadlocked _ ->
+   | Ximd_core.Run.Fuel_exhausted _ | Ximd_core.Run.Deadlocked _
+   | Ximd_core.Run.Budget_exceeded _ ->
      Alcotest.fail "hung");
   let _, na, sb, _ = regs in
   ignore na;
@@ -106,7 +107,8 @@ let test_same_cycles_as_xsim () =
     setup state regs;
     match sim state with
     | Ximd_core.Run.Halted { cycles } -> cycles
-    | Ximd_core.Run.Fuel_exhausted _ | Ximd_core.Run.Deadlocked _ ->
+    | Ximd_core.Run.Fuel_exhausted _ | Ximd_core.Run.Deadlocked _
+   | Ximd_core.Run.Budget_exceeded _ ->
       Alcotest.fail "hung"
   in
   Alcotest.(check int) "cycles equal"
@@ -139,7 +141,8 @@ let test_lockstep_vliw_programs_ok () =
   workload.ximd.setup state;
   (match Ximd_core.T500.run state with
    | Ximd_core.Run.Halted _ -> ()
-   | Ximd_core.Run.Fuel_exhausted _ | Ximd_core.Run.Deadlocked _ ->
+   | Ximd_core.Run.Fuel_exhausted _ | Ximd_core.Run.Deadlocked _
+   | Ximd_core.Run.Budget_exceeded _ ->
      Alcotest.fail "hung");
   match workload.ximd.check state with
   | Ok () -> ()

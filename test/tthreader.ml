@@ -45,7 +45,8 @@ let run_ok t ~args =
   | Ok (outcome, state) ->
     (match outcome with
      | Ximd_core.Run.Halted _ -> (outcome, state)
-     | Ximd_core.Run.Fuel_exhausted _ | Ximd_core.Run.Deadlocked _ ->
+     | Ximd_core.Run.Fuel_exhausted _ | Ximd_core.Run.Deadlocked _
+   | Ximd_core.Run.Budget_exceeded _ ->
        Alcotest.fail "threaded program hung")
   | Error msg -> Alcotest.fail msg
 

@@ -12,6 +12,10 @@ let usage =
    commands:\n\
   \  run     --seed S --count N [--artifacts DIR]   fuzz N cases, shrink\n\
   \          and report the first divergence (exit 1)\n\
+  \  sweep   --seed S --count N [--domains D]       fuzz N cases on the\n\
+  \          supervised run farm: D worker domains, crash-isolated (a\n\
+  \          case that kills the checker is reported, not fatal), all\n\
+  \          divergences reported in deterministic index order\n\
   \  one     --seed S --index I [--dump]            check one case\n\
   \  shrink  --seed S --index I                     minimise a divergent case\n\
   \  save    --seed S --index I --name NAME [--dir DIR]\n\
@@ -146,6 +150,70 @@ let cmd_run args =
     (if !divergences = 1 then "" else "s")
     !seed dt;
   exit (if !divergences > 0 then 1 else 0)
+
+(* --- sweep ------------------------------------------------------------ *)
+
+(* Multicore fuzzing on the supervised pool: each case is one pool job,
+   so a checker crash on one case becomes a report instead of taking
+   the sweep down, and reports land in index order whatever the domain
+   count.  Unlike `run`, a sweep checks every case (no stop-at-first,
+   no shrinking — use `fuzz shrink` on a reported index). *)
+let cmd_sweep args =
+  let seed = ref 0 and count = ref 1000 and domains = ref 2 in
+  let _ =
+    parse_options
+      [ ("--seed", `Int (( := ) seed));
+        ("--count", `Int (( := ) count));
+        ("--domains", `Int (( := ) domains)) ]
+      args
+  in
+  if !domains < 1 then die "--domains must be at least 1";
+  Printexc.record_backtrace true;
+  let divergences = ref 0 and crashes = ref 0 in
+  let emit (index, verdict) =
+    match verdict with
+    | `Agree -> ()
+    | `Diverge report ->
+      incr divergences;
+      Printf.printf "DIVERGENCE at seed %d index %d %s\n" !seed index report
+    | `Crash exn ->
+      incr crashes;
+      Printf.printf "CRASH at seed %d index %d: %s\n" !seed index exn
+  in
+  let t0 = Unix.gettimeofday () in
+  let pool =
+    Ximd_farm.Pool.create ~domains:!domains
+      ~init:(fun _ -> ())
+      ~work:(fun () index ->
+        let c = case_at ~seed:!seed ~index in
+        match Gen.Diff.check_case c with
+        | Gen.Diff.Agree _ -> (index, `Agree)
+        | Gen.Diff.Diverge d ->
+          ( index,
+            `Diverge
+              (Printf.sprintf "(%s, model %s)\n%s" (describe_config c)
+                 (Gen.Diff.model_name d.model)
+                 (Gen.Diff.divergence_to_string d)) ))
+      ~crashed:(fun index ~exn ~backtrace:_ -> (index, `Crash exn))
+      ~dropped:(fun index -> (index, `Crash "dropped before run"))
+      ~emit ()
+  in
+  for index = 0 to !count - 1 do
+    ignore (Ximd_farm.Pool.submit pool index)
+  done;
+  Ximd_farm.Pool.join pool;
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf
+    "sweep: %d cases on %d domain%s, %d divergence%s, %d crash%s, seed %d, \
+     %.1fs\n"
+    !count !domains
+    (if !domains = 1 then "" else "s")
+    !divergences
+    (if !divergences = 1 then "" else "s")
+    !crashes
+    (if !crashes = 1 then "" else "es")
+    !seed dt;
+  exit (if !divergences + !crashes > 0 then 1 else 0)
 
 (* --- one / shrink ----------------------------------------------------- *)
 
@@ -282,6 +350,7 @@ let cmd_suites args =
 let () =
   match Array.to_list Sys.argv with
   | _ :: "run" :: args -> cmd_run args
+  | _ :: "sweep" :: args -> cmd_sweep args
   | _ :: "one" :: args -> cmd_one args
   | _ :: "shrink" :: args -> cmd_shrink args
   | _ :: "save" :: args -> cmd_save args
