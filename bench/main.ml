@@ -245,29 +245,54 @@ let farm_jobs () =
     | Ok job -> job
     | Error e -> failwith ("bench farm job: " ^ e))
 
+(* Each domain count gets a plain row and a [+obs] row with a campaign
+   observer attached (spans, rollup aggregation, per-session account
+   sinks).  The [overhead] field on the +obs row is plain-jobs/sec over
+   telemetry-jobs/sec.  Budget: ≤ 1.1× the matching plain row for
+   campaigns of non-trivial jobs; this 38-cycle minmax microcampaign is
+   the adversarial floor — slot accounting is per-cycle work and the
+   runs are too short to amortise it — and lands around 1.1–1.3×
+   depending on domain count. *)
 let farm_rows () =
   let jobs = farm_jobs () in
-  let time_once domains =
+  let time_once ~telemetry domains =
+    let obs =
+      if telemetry then
+        Some (Ximd_obs.Farmobs.create ~clock:Unix.gettimeofday ())
+      else None
+    in
     let t0 = Unix.gettimeofday () in
-    let records, summary = Ximd_farm.Farm.run_list ~domains jobs in
+    let records, summary = Ximd_farm.Farm.run_list ?obs ~domains jobs in
     let dt = Unix.gettimeofday () -. t0 in
     if List.length records <> farm_job_count then
       failwith "bench farm: record count mismatch";
     if summary.Ximd_farm.Record.max_exit_code <> 0 then
       failwith "bench farm: campaign not clean";
+    (match obs with
+     | Some o when Ximd_obs.Farmobs.completed o <> farm_job_count ->
+       failwith "bench farm: telemetry span count mismatch"
+     | Some _ | None -> ());
     dt
   in
   let quota = quota_seconds () in
-  List.map
+  let best_of ~telemetry domains =
+    ignore (time_once ~telemetry domains);
+    let best = ref infinity and spent = ref 0.0 in
+    while !spent < quota do
+      let dt = time_once ~telemetry domains in
+      spent := !spent +. dt;
+      if dt < !best then best := dt
+    done;
+    float_of_int farm_job_count /. !best
+  in
+  List.concat_map
     (fun domains ->
-      ignore (time_once domains);
-      let best = ref infinity and spent = ref 0.0 in
-      while !spent < quota do
-        let dt = time_once domains in
-        spent := !spent +. dt;
-        if dt < !best then best := dt
-      done;
-      (domains, farm_job_count, float_of_int farm_job_count /. !best))
+      let plain = best_of ~telemetry:false domains in
+      let obs = best_of ~telemetry:true domains in
+      [ (Printf.sprintf "farm/minmax@%d" domains, domains, farm_job_count,
+         plain, None);
+        (Printf.sprintf "farm/minmax+obs@%d" domains, domains,
+         farm_job_count, obs, Some (plain /. obs)) ])
     [ 1; 2; 4 ]
 
 (* ------------------------------------------------------------------ *)
@@ -345,12 +370,16 @@ let run_json ?(filter = []) () =
   Printf.fprintf oc "  \"farm\": [";
   let first = ref true in
   List.iter
-    (fun (domains, jobs, jobs_per_sec) ->
-      Printf.fprintf oc "%s\n    { \"name\": \"farm/minmax@%d\", \
-                         \"domains\": %d, \"jobs\": %d, \
-                         \"jobs_per_sec\": %.1f }"
+    (fun (name, domains, jobs, jobs_per_sec, overhead) ->
+      let overhead_field =
+        match overhead with
+        | None -> ""
+        | Some o -> Printf.sprintf ", \"overhead\": %.2f" o
+      in
+      Printf.fprintf oc "%s\n    { \"name\": %S, \"domains\": %d, \
+                         \"jobs\": %d, \"jobs_per_sec\": %.1f%s }"
         (if !first then "" else ",")
-        domains domains jobs jobs_per_sec;
+        name domains jobs jobs_per_sec overhead_field;
       first := false)
     farm;
   Printf.fprintf oc "\n  ]\n}\n";
@@ -358,9 +387,14 @@ let run_json ?(filter = []) () =
   Printf.printf "wrote %s (%d entries)\n%!" bench_json_file
     (List.length cycle_counts + List.length farm);
   List.iter
-    (fun (domains, jobs, jobs_per_sec) ->
-      Printf.printf "farm/minmax@%-17d %8d jobs %16.0f jobs/sec\n%!" domains
-        jobs jobs_per_sec)
+    (fun (name, _domains, jobs, jobs_per_sec, overhead) ->
+      let overhead_note =
+        match overhead with
+        | None -> ""
+        | Some o -> Printf.sprintf "  (%.2fx vs plain)" o
+      in
+      Printf.printf "%-28s %8d jobs %16.0f jobs/sec%s\n%!" name jobs
+        jobs_per_sec overhead_note)
     farm;
   List.iter
     (fun (name, workload, simulator, cycles) ->

@@ -451,6 +451,12 @@ let run_simulator sim path trace listing stats max_cycles cycle_budget
     (match obs with
      | None -> ()
      | Some sink ->
+       let dropped = Ximd_obs.Sink.dropped_events sink in
+       if dropped > 0 then
+         Printf.eprintf
+           "warning: %d observability events dropped (ring overflow, \
+            oldest first); raise the ring capacity or narrow the run\n%!"
+           dropped;
        let pc_label pc = Ximd_core.Program.label_at program pc in
        (match trace_events with
         | None -> ()

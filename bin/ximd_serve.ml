@@ -40,9 +40,59 @@ let no_summary_flag =
         ~doc:"Do not append the ximd-summary/1 line to the result \
               stream.")
 
+let campaign_trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "campaign-trace" ] ~docv:"FILE"
+        ~doc:"Write a whole-campaign Chrome trace_event file: one track \
+              per worker domain, one outcome-coloured slice per job, \
+              queue-depth counter track.  Open in chrome://tracing or \
+              Perfetto.")
+
+let campaign_report_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "campaign-report" ] ~docv:"FILE"
+        ~doc:"Write a ximd-campaign/1 rollup: line 2 is the logical view \
+              (byte-stable across runs and domain counts), line 3 the \
+              fleet view (wall times, per-domain totals, cache hit \
+              rate).")
+
+let progress_every_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "progress-every" ] ~docv:"N"
+        ~doc:"Emit one ximd-progress/1 heartbeat line to stderr after \
+              every N completed jobs (0 disables).")
+
+type campaign_opts = {
+  trace_out : string option;
+  report_out : string option;
+  progress_every : int;
+}
+
+let write_file path content =
+  Out_channel.with_open_text path (fun oc ->
+    Out_channel.output_string oc content)
+
 (* One campaign: job lines from [input], result lines to [output].
-   Returns the worst exit code seen, or 130 if interrupted. *)
-let run_campaign ~domains ~queue_bound ~summary input output =
+   Returns the worst exit code seen, or 130 if interrupted.  Telemetry
+   is per-campaign: in socket mode each connection gets a fresh
+   observer and overwrites the trace/report files. *)
+let run_campaign ~domains ~queue_bound ~summary ~campaign input output =
+  let obs =
+    if
+      campaign.trace_out <> None
+      || campaign.report_out <> None
+      || campaign.progress_every > 0
+    then
+      Some
+        (Ximd_obs.Farmobs.create ~progress_every:campaign.progress_every
+           ~progress:prerr_endline ~clock:Unix.gettimeofday ())
+    else None
+  in
   let records = ref [] in
   let emit record =
     records := record :: !records;
@@ -50,7 +100,7 @@ let run_campaign ~domains ~queue_bound ~summary input output =
     output_char output '\n';
     flush output
   in
-  let farm = Farm.Farm.create ~domains ~queue_bound ~emit () in
+  let farm = Farm.Farm.create ~domains ~queue_bound ?obs ~emit () in
   let interrupted = ref false in
   (try
      let rec loop () =
@@ -74,16 +124,46 @@ let run_campaign ~domains ~queue_bound ~summary input output =
   let records = List.rev !records in
   let s = Farm.Record.summarise records in
   if summary then begin
-    output_string output (Farm.Record.summary_to_json_string s);
+    (* with telemetry on, the summary line carries the campaign's merged
+       metrics registry (counters summed, histograms merged across jobs) *)
+    let metrics =
+      Option.map
+        (fun o ->
+          Ximd_obs.Metrics.to_json (Ximd_obs.Farmobs.merged_metrics o))
+        obs
+    in
+    output_string output (Farm.Record.summary_to_json_string ?metrics s);
     output_char output '\n';
     flush output
   end;
+  (match obs with
+   | None -> ()
+   | Some o ->
+     Option.iter
+       (fun path -> write_file path (Ximd_obs.Farmobs.chrome_json o))
+       campaign.trace_out;
+     Option.iter
+       (fun path -> write_file path (Ximd_obs.Farmobs.rollup_json o))
+       campaign.report_out;
+     let dropped =
+       let c =
+         Ximd_obs.Metrics.counter
+           (Ximd_obs.Farmobs.merged_metrics o)
+           "events_dropped"
+       in
+       c.Ximd_obs.Metrics.c_value
+     in
+     if dropped > 0 then
+       Printf.eprintf
+         "ximd-serve: warning: %d observability events dropped (ring \
+          overflow); traces are incomplete\n%!"
+         dropped);
   if !interrupted then 130 else s.Farm.Record.max_exit_code
 
-let serve_stdin ~domains ~queue_bound ~summary =
-  run_campaign ~domains ~queue_bound ~summary stdin stdout
+let serve_stdin ~domains ~queue_bound ~summary ~campaign =
+  run_campaign ~domains ~queue_bound ~summary ~campaign stdin stdout
 
-let serve_socket ~domains ~queue_bound ~summary path =
+let serve_socket ~domains ~queue_bound ~summary ~campaign path =
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   Unix.bind sock (Unix.ADDR_UNIX path);
@@ -101,7 +181,7 @@ let serve_socket ~domains ~queue_bound ~summary path =
       let input = Unix.in_channel_of_descr conn in
       let output = Unix.out_channel_of_descr conn in
       let code =
-        try run_campaign ~domains ~queue_bound ~summary input output
+        try run_campaign ~domains ~queue_bound ~summary ~campaign input output
         with Sys.Break ->
           (try close_out output with Sys_error _ -> ());
           cleanup ();
@@ -115,7 +195,8 @@ let serve_socket ~domains ~queue_bound ~summary path =
      cleanup ();
      130)
 
-let run domains queue_bound socket no_summary =
+let run domains queue_bound socket no_summary trace_out report_out
+    progress_every =
   if domains < 1 then begin
     Printf.eprintf "--domains must be at least 1\n";
     exit 1
@@ -124,13 +205,18 @@ let run domains queue_bound socket no_summary =
     Printf.eprintf "--queue-bound must be at least 1\n";
     exit 1
   end;
+  if progress_every < 0 then begin
+    Printf.eprintf "--progress-every must be non-negative\n";
+    exit 1
+  end;
   Printexc.record_backtrace true;
   Sys.catch_break true;
   let summary = not no_summary in
+  let campaign = { trace_out; report_out; progress_every } in
   let code =
     match socket with
-    | None -> serve_stdin ~domains ~queue_bound ~summary
-    | Some path -> serve_socket ~domains ~queue_bound ~summary path
+    | None -> serve_stdin ~domains ~queue_bound ~summary ~campaign
+    | Some path -> serve_socket ~domains ~queue_bound ~summary ~campaign path
   in
   exit code
 
@@ -172,6 +258,7 @@ let cmd =
     (Cmd.info "ximd-serve" ~doc ~man ~exits)
     Term.(
       const run $ domains_arg $ queue_bound_arg $ socket_arg
-      $ no_summary_flag)
+      $ no_summary_flag $ campaign_trace_arg $ campaign_report_arg
+      $ progress_every_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,5 +1,6 @@
 module Core = Ximd_core
 module M = Ximd_machine
+module Obs = Ximd_obs
 
 (* Raised from the engine's poll hook when an attempt overruns its
    wall-clock deadline; never escapes [run_job]. *)
@@ -7,41 +8,83 @@ exception Wall_deadline
 
 (* ------------------------------------------------------------------ *)
 (* Per-domain context: a bounded cache of reusable sessions, keyed by
-   machine shape, and one watchdog.  Rebuilt wholesale after a crash. *)
+   machine shape, and one watchdog.  Rebuilt wholesale after a crash.
+   With campaign telemetry on, each cached session carries its own
+   account-only sink (reset by the session at every run), so a finished
+   job's slot taxonomy and metrics can be folded into the campaign. *)
 
 let session_cache_cap = 8
 
 type ctx = {
   mutable sessions :
-    ((Core.Config.t * Core.Engine.model) * Core.Session.t) list;
+    ((Core.Config.t * Core.Engine.model)
+    * (Core.Session.t * Obs.Sink.t option))
+    list;
+  mutable sinks : ((int * int) * Obs.Sink.t) list;
+      (* account-only sinks keyed by (n_fus, code_len) — the only
+         dimensions that size a sink.  A domain runs jobs one at a
+         time and the session resets its sink at every run, so jobs
+         whose sessions share a shape can share a sink; this keeps
+         sink construction off the per-job path when every job is a
+         session-cache miss (distinct seeds). *)
   watchdog : Core.Watchdog.t;
   workloads : Ximd_workloads.Workload.t list Lazy.t;
       (* Suite.all builds every workload (programs, data, checkers);
          amortise it per domain instead of paying it per job *)
+  telemetry : bool;
 }
 
-let make_ctx _index =
+let make_ctx ~telemetry _index =
   { sessions = [];
+    sinks = [];
     watchdog = Core.Watchdog.create ();
-    workloads = lazy (Ximd_workloads.Suite.all ()) }
+    workloads = lazy (Ximd_workloads.Suite.all ());
+    telemetry }
+
+(* Account-only sink: no event ring traffic, no hot-PC sampling — per
+   the farm-throughput bench rows the whole-campaign overhead must stay
+   within 1.1x, and slot accounting is one array increment per fu×cycle
+   slot.  [code_len] only sizes the (disabled) profiler. *)
+let new_sink ctx ~config ~program =
+  if not ctx.telemetry then None
+  else begin
+    let n_fus = config.Core.Config.n_fus in
+    let code_len = Core.Program.length program in
+    let key = (n_fus, code_len) in
+    match List.assoc_opt key ctx.sinks with
+    | Some sink -> Some sink
+    | None ->
+      (* trace:false never pushes the ring, so a 1-slot ring avoids
+         the default 64Ki allocation. *)
+      let sink =
+        Obs.Sink.create ~ring_capacity:1 ~trace:false ~profile:false
+          ~account:true ~n_fus ~code_len ()
+      in
+      ctx.sinks <- (key, sink) :: ctx.sinks;
+      Some sink
+  end
 
 (* Fault-free jobs share sessions (the program swaps per run); a job
    with a fault plan gets a one-shot session, since the schedule is
-   baked in at session creation. *)
+   baked in at session creation.  Returns the session's sink and
+   whether the cache served it. *)
 let session_for ctx ~config ~model ~faults program =
   match faults with
-  | Some faults -> Core.Session.create ~config ~faults ~model program
+  | Some faults ->
+    let sink = new_sink ctx ~config ~program in
+    (Core.Session.create ~config ~faults ?obs:sink ~model program, sink, false)
   | None -> (
     let key = (config, model) in
     match List.assoc_opt key ctx.sessions with
-    | Some session -> session
+    | Some (session, sink) -> (session, sink, true)
     | None ->
-      let session = Core.Session.create ~config ~model program in
+      let sink = new_sink ctx ~config ~program in
+      let session = Core.Session.create ~config ?obs:sink ~model program in
       let keep =
         List.filteri (fun i _ -> i < session_cache_cap - 1) ctx.sessions
       in
-      ctx.sessions <- (key, session) :: keep;
-      session)
+      ctx.sessions <- (key, (session, sink)) :: keep;
+      (session, sink, false))
 
 (* ------------------------------------------------------------------ *)
 (* Payload resolution: job spec -> program + config + setup + check.
@@ -170,18 +213,58 @@ let backoff_s ~seed ~attempt =
   float_of_int (min 250 (base_ms + jitter_ms)) /. 1000.
 
 (* ------------------------------------------------------------------ *)
+(* Campaign telemetry plumbing.  Every record path funnels through
+   [completed], so the observer sees exactly one on_complete per job
+   whatever its fate; sink merging happens only for records that
+   finished a run — a timed-out or rejected attempt leaves partial,
+   timing-dependent tallies in the sink that must not pollute the
+   deterministic campaign aggregates. *)
 
-let run_job ?hook ctx (job : Job.t) =
+let quality_of label =
+  match label with
+  | "ok" -> Obs.Span.Good
+  | "crashed" | "rejected" | "dropped" -> Obs.Span.Bad
+  | _ -> Obs.Span.Suspect
+
+let outcome_of (record : Record.t) =
+  let label = Record.class_label record in
+  Obs.Span.outcome ~label ~quality:(quality_of label)
+
+let completed ?obs ~seq ?sink ?n_fus (record : Record.t) =
+  (match obs with
+   | None -> ()
+   | Some o ->
+     Obs.Farmobs.on_complete o ~seq ~id:record.Record.job.Job.id
+       ~result:(outcome_of record) ~attempts:record.Record.attempts
+       ?cycles:
+         (Option.map (fun (s : Record.stats) -> s.Record.cycles)
+            record.Record.stats)
+       ?n_fus ();
+     match (record.Record.status, sink) with
+     | Record.Finished _, Some sink ->
+       (match Obs.Sink.account sink with
+        | Some acct -> Obs.Farmobs.merge_account o acct
+        | None -> ());
+       Obs.Farmobs.merge_metrics o (Obs.Sink.metrics sink)
+     | _ -> ());
+  record
+
+(* ------------------------------------------------------------------ *)
+
+let run_job ?hook ?obs ?(seq = -1) ctx (job : Job.t) =
   (match hook with None -> () | Some f -> f job);
+  let rejected reason =
+    completed ?obs ~seq
+      { Record.job;
+        status = Record.Rejected { reason };
+        attempts = 0;
+        stats = None;
+        hazards = 0;
+        check = None;
+        regs = [] }
+  in
   match resolve ctx job with
-  | Error reason ->
-    { Record.job;
-      status = Record.Rejected { reason };
-      attempts = 0;
-      stats = None;
-      hazards = 0;
-      check = None;
-      regs = [] }
+  | Error reason -> rejected reason
   | Ok { r_program; r_config; r_setup; r_check } -> (
     let faults =
       match job.Job.fault with
@@ -194,14 +277,7 @@ let run_job ?hook ctx (job : Job.t) =
         | Error msg -> Error ("fault: " ^ msg))
     in
     match faults with
-    | Error reason ->
-      { Record.job;
-        status = Record.Rejected { reason };
-        attempts = 0;
-        stats = None;
-        hazards = 0;
-        check = None;
-        regs = [] }
+    | Error reason -> rejected reason
     | Ok faults -> (
       match
         session_for ctx ~config:r_config ~model:job.Job.model ~faults
@@ -210,14 +286,12 @@ let run_job ?hook ctx (job : Job.t) =
       | exception Invalid_argument msg ->
         (* model/program structural mismatch (e.g. a non-consistent
            program under vsim) is a rejection, not a crash *)
-        { Record.job;
-          status = Record.Rejected { reason = msg };
-          attempts = 0;
-          stats = None;
-          hazards = 0;
-          check = None;
-          regs = [] }
-      | session ->
+        rejected msg
+      | session, sink, cache_hit ->
+        (match obs with
+         | None -> ()
+         | Some o -> Obs.Farmobs.on_session_ready o ~seq ~cache_hit);
+        let n_fus = r_config.Core.Config.n_fus in
         let watchdog =
           if job.Job.detect_deadlock then Some ctx.watchdog else None
         in
@@ -250,6 +324,9 @@ let run_job ?hook ctx (job : Job.t) =
             (Record.Rejected { reason = msg }, 0)
           | exception Wall_deadline ->
             if n <= job.Job.retries then begin
+              (match obs with
+               | None -> ()
+               | Some o -> Obs.Farmobs.on_retry o ~seq ~attempt:n);
               Unix.sleepf (backoff_s ~seed:job.Job.seed ~attempt:n);
               attempt (n + 1)
             end
@@ -267,13 +344,14 @@ let run_job ?hook ctx (job : Job.t) =
            (* a timed-out attempt stops mid-run (partial stats and
               registers are timing-dependent) and a run-time rejection
               never ran, so neither record carries state *)
-           { Record.job;
-             status;
-             attempts;
-             stats = None;
-             hazards = 0;
-             check = None;
-             regs = [] }
+           completed ?obs ~seq ?sink
+             { Record.job;
+               status;
+               attempts;
+               stats = None;
+               hazards = 0;
+               check = None;
+               regs = [] }
          | _ ->
            let state = Core.Session.state session in
            let stats = state.Core.State.stats in
@@ -283,22 +361,23 @@ let run_job ?hook ctx (job : Job.t) =
              | Some check -> (
                match check state with Ok () -> None | Error msg -> Some msg)
            in
-           { Record.job;
-             status;
-             attempts;
-             stats =
-               Some
-                 { Record.cycles = stats.Core.Stats.cycles;
-                   data_ops = stats.Core.Stats.data_ops;
-                   spin_slots = stats.Core.Stats.spin_slots;
-                   max_streams = stats.Core.Stats.max_streams;
-                   commit_ops = stats.Core.Stats.commit_ops };
-             hazards = List.length (Core.State.hazards state);
-             check;
-             regs =
-               List.map
-                 (fun r -> (r, M.Regfile.read state.Core.State.regs r))
-                 job.Job.dump_regs })))
+           completed ?obs ~seq ?sink ~n_fus
+             { Record.job;
+               status;
+               attempts;
+               stats =
+                 Some
+                   { Record.cycles = stats.Core.Stats.cycles;
+                     data_ops = stats.Core.Stats.data_ops;
+                     spin_slots = stats.Core.Stats.spin_slots;
+                     max_streams = stats.Core.Stats.max_streams;
+                     commit_ops = stats.Core.Stats.commit_ops };
+               hazards = List.length (Core.State.hazards state);
+               check;
+               regs =
+                 List.map
+                   (fun r -> (r, M.Regfile.read state.Core.State.regs r))
+                   job.Job.dump_regs })))
 
 (* ------------------------------------------------------------------ *)
 (* The farm: a pool of [ctx] workers running [run_job], with rejection
@@ -324,38 +403,52 @@ let rejected job reason =
     check = None;
     regs = [] }
 
-let create ?domains ?queue_bound ?hook ~emit () =
-  let work ctx = function
-    | Run job -> run_job ?hook ctx job
-    | Pre_rejected (job, reason) -> rejected job reason
+let create ?domains ?queue_bound ?hook ?obs ~emit () =
+  let work ctx ~seq = function
+    | Run job -> run_job ?hook ?obs ~seq ctx job
+    | Pre_rejected (job, reason) ->
+      completed ?obs ~seq (rejected job reason)
   in
-  let crashed item ~exn ~backtrace =
+  let crashed ~seq item ~exn ~backtrace =
     let job =
       match item with Run job | Pre_rejected (job, _) -> job
     in
-    { Record.job;
-      status = Record.Crashed { exn; backtrace };
-      attempts = 1;
-      stats = None;
-      hazards = 0;
-      check = None;
-      regs = [] }
+    completed ?obs ~seq
+      { Record.job;
+        status = Record.Crashed { exn; backtrace };
+        attempts = 1;
+        stats = None;
+        hazards = 0;
+        check = None;
+        regs = [] }
   in
-  let dropped item =
+  let dropped ~seq item =
     let job =
       match item with Run job | Pre_rejected (job, _) -> job
     in
-    { Record.job;
-      status = Record.Dropped { reason = "farm interrupted before run" };
-      attempts = 0;
-      stats = None;
-      hazards = 0;
-      check = None;
-      regs = [] }
+    completed ?obs ~seq
+      { Record.job;
+        status = Record.Dropped { reason = "farm interrupted before run" };
+        attempts = 0;
+        stats = None;
+        hazards = 0;
+        check = None;
+        regs = [] }
+  in
+  let probe =
+    Option.map
+      (fun o ->
+        { Pool.p_enqueue = (fun ~seq ~depth -> Obs.Farmobs.on_enqueue o ~seq ~depth);
+          p_dequeue =
+            (fun ~seq ~domain ~depth ->
+              Obs.Farmobs.on_dequeue o ~seq ~domain ~depth);
+          p_emit = (fun ~seq -> Obs.Farmobs.on_emit o ~seq) })
+      obs
   in
   { pool =
-      Pool.create ?domains ?queue_bound ~init:make_ctx ~work ~crashed
-        ~dropped ~emit ();
+      Pool.create ?domains ?queue_bound ?probe
+        ~init:(make_ctx ~telemetry:(obs <> None))
+        ~work ~crashed ~dropped ~emit ();
     lines = 0 }
 
 let submit t job = Pool.submit t.pool (Run job)
@@ -396,10 +489,12 @@ let interrupt t = Pool.interrupt t.pool
 let join t = Pool.join t.pool
 let crashes t = Pool.crashes t.pool
 
-let run_list ?domains ?queue_bound ?hook jobs =
+let run_list ?domains ?queue_bound ?hook ?obs jobs =
   let acc = ref [] in
   let farm =
-    create ?domains ?queue_bound ?hook ~emit:(fun r -> acc := r :: !acc) ()
+    create ?domains ?queue_bound ?hook ?obs
+      ~emit:(fun r -> acc := r :: !acc)
+      ()
   in
   List.iter (fun job -> ignore (submit farm job)) jobs;
   join farm;

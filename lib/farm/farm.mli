@@ -24,7 +24,17 @@
     in the record and exit code 5.
 
     Result records reach [emit] in submission order whatever the domain
-    count — see {!Pool}. *)
+    count — see {!Pool}.
+
+    {b Campaign telemetry.}  Pass [?obs] to observe the whole campaign:
+    the farm installs a {!Pool.probe} and reports each job's lifecycle
+    to the {!Ximd_obs.Farmobs} aggregator — session cache hits, retry
+    attempts, the final outcome class ({!Record.class_label}) — and,
+    for jobs that finished a run, folds the per-job slot taxonomy and
+    metrics from an account-only {!Ximd_obs.Sink} attached to each
+    session into the campaign aggregates.  Without [?obs] no sink is
+    created and every instrumentation site is one [match] on [None] —
+    the result stream is byte-identical either way. *)
 
 type t
 
@@ -32,6 +42,7 @@ val create :
   ?domains:int ->
   ?queue_bound:int ->
   ?hook:(Job.t -> unit) ->
+  ?obs:Ximd_obs.Farmobs.t ->
   emit:(Record.t -> unit) ->
   unit ->
   t
@@ -60,6 +71,7 @@ val run_list :
   ?domains:int ->
   ?queue_bound:int ->
   ?hook:(Job.t -> unit) ->
+  ?obs:Ximd_obs.Farmobs.t ->
   Job.t list ->
   Record.t list * Record.summary
 (** Convenience: run the jobs, collect the records in submission order,

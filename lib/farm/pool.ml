@@ -2,6 +2,12 @@
    emission cursor.  Workers hold it only to dequeue and to emit —
    simulator runs (the expensive part) happen outside the lock. *)
 
+type probe = {
+  p_enqueue : seq:int -> depth:int -> unit;
+  p_dequeue : seq:int -> domain:int -> depth:int -> unit;
+  p_emit : seq:int -> unit;
+}
+
 type ('ctx, 'job, 'res) t = {
   mutex : Mutex.t;
   not_full : Condition.t;
@@ -15,25 +21,32 @@ type ('ctx, 'job, 'res) t = {
   mutable interrupted : bool;
   mutable crashes : int;
   init : int -> 'ctx;
-  work : 'ctx -> 'job -> 'res;
-  crashed : 'job -> exn:string -> backtrace:string -> 'res;
-  dropped : 'job -> 'res;
+  work : 'ctx -> seq:int -> 'job -> 'res;
+  crashed : seq:int -> 'job -> exn:string -> backtrace:string -> 'res;
+  dropped : seq:int -> 'job -> 'res;
   emit : 'res -> unit;
+  probe : probe option;
   mutable workers : unit Domain.t array;
   mutable joined : bool;
 }
 
 (* Called with the lock held.  Results emit strictly in sequence order;
-   a result whose predecessors are still running parks in [pending]. *)
+   a result whose predecessors are still running parks in [pending].
+   The probe fires after [emit] so an observer counting emissions sees
+   the record already in the stream.  Probe callbacks never take the
+   pool lock (documented contract), so pool-lock -> observer-lock is
+   the only ordering that occurs. *)
 let stash t seq res =
   Hashtbl.replace t.pending seq res;
   let rec flush () =
     match Hashtbl.find_opt t.pending t.next_emit with
     | None -> ()
     | Some res ->
-      Hashtbl.remove t.pending t.next_emit;
-      t.next_emit <- t.next_emit + 1;
+      let seq = t.next_emit in
+      Hashtbl.remove t.pending seq;
+      t.next_emit <- seq + 1;
       t.emit res;
+      (match t.probe with None -> () | Some p -> p.p_emit ~seq);
       flush ()
   in
   flush ()
@@ -48,10 +61,13 @@ let worker t index =
     if Queue.is_empty t.queue then Mutex.unlock t.mutex
     else begin
       let seq, job = Queue.pop t.queue in
+      (match t.probe with
+       | None -> ()
+       | Some p -> p.p_dequeue ~seq ~domain:index ~depth:(Queue.length t.queue));
       Condition.signal t.not_full;
       Mutex.unlock t.mutex;
       let res =
-        try t.work !ctx job
+        try t.work !ctx ~seq job
         with exn ->
           let backtrace = Printexc.get_backtrace () in
           let exn = Printexc.to_string exn in
@@ -61,7 +77,7 @@ let worker t index =
           Mutex.lock t.mutex;
           t.crashes <- t.crashes + 1;
           Mutex.unlock t.mutex;
-          t.crashed job ~exn ~backtrace
+          t.crashed ~seq job ~exn ~backtrace
       in
       Mutex.lock t.mutex;
       stash t seq res;
@@ -71,8 +87,8 @@ let worker t index =
   in
   loop ()
 
-let create ?(domains = 1) ?(queue_bound = 256) ~init ~work ~crashed ~dropped
-    ~emit () =
+let create ?(domains = 1) ?(queue_bound = 256) ?probe ~init ~work ~crashed
+    ~dropped ~emit () =
   if domains < 1 then invalid_arg "Pool.create: domains must be positive";
   if domains > 64 then invalid_arg "Pool.create: at most 64 domains";
   if queue_bound < 1 then
@@ -98,6 +114,7 @@ let create ?(domains = 1) ?(queue_bound = 256) ~init ~work ~crashed ~dropped
       crashed;
       dropped;
       emit;
+      probe;
       workers = [||];
       joined = false }
   in
@@ -116,8 +133,12 @@ let submit t job =
     false
   end
   else begin
-    Queue.add (t.next_seq, job) t.queue;
-    t.next_seq <- t.next_seq + 1;
+    let seq = t.next_seq in
+    Queue.add (seq, job) t.queue;
+    t.next_seq <- seq + 1;
+    (match t.probe with
+     | None -> ()
+     | Some p -> p.p_enqueue ~seq ~depth:(Queue.length t.queue));
     Condition.signal t.not_empty;
     Mutex.unlock t.mutex;
     true
@@ -129,7 +150,7 @@ let interrupt t =
     t.interrupted <- true;
     (* drain: queued jobs keep their sequence slots, so the dropped
        records interleave at the right places in the result stream *)
-    Queue.iter (fun (seq, job) -> stash t seq (t.dropped job)) t.queue;
+    Queue.iter (fun (seq, job) -> stash t seq (t.dropped ~seq job)) t.queue;
     Queue.clear t.queue;
     Condition.broadcast t.not_full;
     Condition.broadcast t.not_empty

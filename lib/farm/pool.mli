@@ -16,18 +16,37 @@
       jobs through [dropped] (no silent truncation), and lets in-flight
       jobs finish.
 
+    Every callback receives the job's submission sequence number
+    ([seq]), which is also its position in the emitted result stream —
+    the key an external observer correlates lifecycle events with.
+
     [emit] is called with the pool's lock held: it must not call back
     into the pool and should be cheap (write a line, stash in a list). *)
+
+type probe = {
+  p_enqueue : seq:int -> depth:int -> unit;
+      (** after the job entered the queue; [depth] includes it *)
+  p_dequeue : seq:int -> domain:int -> depth:int -> unit;
+      (** a worker picked the job up; [depth] is what remains queued *)
+  p_emit : seq:int -> unit;
+      (** the job's result just left the reorder buffer via [emit] *)
+}
+(** Telemetry taps on the job lifecycle.  All three fire with the pool
+    lock held: they must be cheap and must never call back into the
+    pool (they may take their own locks — pool lock -> observer lock is
+    then the only ordering that occurs).  When no probe is installed
+    the cost is one branch per event. *)
 
 type ('ctx, 'job, 'res) t
 
 val create :
   ?domains:int ->
   ?queue_bound:int ->
+  ?probe:probe ->
   init:(int -> 'ctx) ->
-  work:('ctx -> 'job -> 'res) ->
-  crashed:('job -> exn:string -> backtrace:string -> 'res) ->
-  dropped:('job -> 'res) ->
+  work:('ctx -> seq:int -> 'job -> 'res) ->
+  crashed:(seq:int -> 'job -> exn:string -> backtrace:string -> 'res) ->
+  dropped:(seq:int -> 'job -> 'res) ->
   emit:('res -> unit) ->
   unit ->
   ('ctx, 'job, 'res) t

@@ -35,6 +35,23 @@ let exit_code t =
   | Rejected _ -> 1
   | Dropped _ -> 130
 
+(* One deterministic word per record, the campaign-telemetry outcome
+   vocabulary.  Finer than exit codes (deadline_exceeded and
+   budget_exceeded share code 6 but are different failures) and stable
+   across runs, unlike the status payloads. *)
+let class_label t =
+  match t.status with
+  | Finished outcome -> (
+    match outcome with
+    | Core.Run.Halted _ -> if t.hazards > 0 then "hazardous" else "ok"
+    | Core.Run.Fuel_exhausted _ -> "fuel_exhausted"
+    | Core.Run.Deadlocked _ -> "deadlocked"
+    | Core.Run.Budget_exceeded _ -> "budget_exceeded")
+  | Deadline_exceeded _ -> "deadline_exceeded"
+  | Crashed _ -> "crashed"
+  | Rejected _ -> "rejected"
+  | Dropped _ -> "dropped"
+
 let json_of_waiting (w : Core.Run.waiting) =
   Json.Obj
     [ ("fu", Json.Int w.fu);
@@ -154,10 +171,21 @@ let summarise records =
       check_failed = 0; retried = 0; max_exit_code = 0 }
     records
 
-let summary_to_json_string s =
+(* [metrics] is a pre-rendered JSON object (the campaign's merged
+   metrics registry) spliced in as a "metrics" field — passed as text so
+   this module needs no dependency on the obs layer. *)
+let summary_to_json_string ?metrics s =
+  let metrics_field =
+    match metrics with
+    | None -> []
+    | Some text -> (
+      match Json.parse text with
+      | Ok j -> [ ("metrics", j) ]
+      | Error _ -> [])
+  in
   Json.to_string
     (Json.Obj
-       [ ("schema", Json.String "ximd-summary/1");
+       ([ ("schema", Json.String "ximd-summary/1");
          ("jobs", Json.Int s.jobs);
          ("ok", Json.Int s.ok);
          ("hazardous", Json.Int s.hazardous);
@@ -168,8 +196,9 @@ let summary_to_json_string s =
          ("rejected", Json.Int s.rejected);
          ("dropped", Json.Int s.dropped);
          ("check_failed", Json.Int s.check_failed);
-         ("retried", Json.Int s.retried);
-         ("max_exit_code", Json.Int s.max_exit_code) ])
+          ("retried", Json.Int s.retried);
+          ("max_exit_code", Json.Int s.max_exit_code) ]
+       @ metrics_field))
 
 let pp_summary fmt s =
   Format.fprintf fmt

@@ -51,6 +51,14 @@ val exit_code : t -> int
     {!Ximd_core.Run.job_crashed_exit_code}, rejected is 1, and dropped
     is 130 (the SIGINT convention). *)
 
+val class_label : t -> string
+(** The record's outcome class as one deterministic word — [ok],
+    [hazardous], [fuel_exhausted], [deadlocked], [budget_exceeded],
+    [deadline_exceeded], [crashed], [rejected] or [dropped].  Finer
+    than {!exit_code} (deadline and budget overruns share code 6) and
+    free of run-dependent payloads, so campaign telemetry can count on
+    it. *)
+
 val to_json : t -> Json.t
 val to_json_string : t -> string
 (** One [ximd-result/1] line, no trailing newline. *)
@@ -71,7 +79,11 @@ type summary = {
 }
 
 val summarise : t list -> summary
-val summary_to_json_string : summary -> string
-(** One [ximd-summary/1] line, no trailing newline. *)
+
+val summary_to_json_string : ?metrics:string -> summary -> string
+(** One [ximd-summary/1] line, no trailing newline.  [metrics], when
+    given, must be a rendered JSON object (e.g. a campaign's merged
+    {!Ximd_obs.Metrics.to_json}) and is embedded as a ["metrics"]
+    field. *)
 
 val pp_summary : Format.formatter -> summary -> unit

@@ -58,6 +58,7 @@ let histogram t name =
 
 let incr c = c.c_value <- c.c_value + 1
 let add c v = c.c_value <- c.c_value + v
+let set_counter c v = c.c_value <- v
 
 let set_gauge g v =
   g.g_value <- v;
@@ -113,6 +114,53 @@ let by_name name a b = String.compare (name a) (name b)
 let counters t = List.sort (by_name (fun c -> c.c_name)) t.counters_rev
 let gauges t = List.sort (by_name (fun g -> g.g_name)) t.gauges_rev
 let histograms t = List.sort (by_name (fun h -> h.h_name)) t.histograms_rev
+
+(* Merging is the campaign aggregation primitive: every combination is
+   commutative and associative (sum, max), so folding per-job
+   registries in whatever order worker domains finish yields the same
+   merged registry — the property the deterministic campaign rollup
+   rests on.  Gauges merge by max on both fields: "last value" has no
+   meaning across jobs, the high-water mark does. *)
+let merge_counter dst (c : counter) = dst.c_value <- dst.c_value + c.c_value
+
+let merge_gauge dst (g : gauge) =
+  dst.g_value <- max dst.g_value (max g.g_value g.g_max);
+  dst.g_max <- max dst.g_max g.g_max
+
+let merge_histogram dst (h : histogram) =
+  dst.h_count <- dst.h_count + h.h_count;
+  dst.h_sum <- dst.h_sum + h.h_sum;
+  dst.h_max <- max dst.h_max h.h_max;
+  Array.iteri (fun i n -> dst.h_buckets.(i) <- dst.h_buckets.(i) + n)
+    h.h_buckets
+
+(* True when both lists registered the same names in the same order —
+   the steady state when one campaign registry absorbs same-shaped
+   per-job registries, letting merge skip the per-name scans. *)
+let aligned name a b =
+  try List.for_all2 (fun x y -> String.equal (name x) (name y)) a b
+  with Invalid_argument _ -> false
+
+let merge ~into src =
+  if aligned (fun (c : counter) -> c.c_name) into.counters_rev src.counters_rev
+  then List.iter2 merge_counter into.counters_rev src.counters_rev
+  else
+    List.iter
+      (fun c -> merge_counter (counter into c.c_name) c)
+      (List.rev src.counters_rev);
+  if aligned (fun (g : gauge) -> g.g_name) into.gauges_rev src.gauges_rev then
+    List.iter2 merge_gauge into.gauges_rev src.gauges_rev
+  else
+    List.iter
+      (fun g -> merge_gauge (gauge into g.g_name) g)
+      (List.rev src.gauges_rev);
+  if aligned (fun (h : histogram) -> h.h_name) into.histograms_rev
+       src.histograms_rev
+  then List.iter2 merge_histogram into.histograms_rev src.histograms_rev
+  else
+    List.iter
+      (fun h -> merge_histogram (histogram into h.h_name) h)
+      (List.rev src.histograms_rev)
 
 let reset t =
   List.iter (fun c -> c.c_value <- 0) t.counters_rev;

@@ -40,6 +40,10 @@ val histogram : t -> string -> histogram
 
 val incr : counter -> unit
 val add : counter -> int -> unit
+val set_counter : counter -> int -> unit
+(** Overwrite a counter with an externally maintained total (e.g. the
+    event ring's drop count, which the ring already tracks itself). *)
+
 val set_gauge : gauge -> int -> unit
 val observe : histogram -> int -> unit
 
@@ -71,6 +75,13 @@ val histograms : t -> histogram list
 
 val reset : t -> unit
 (** Zero every instrument, keeping registrations. *)
+
+val merge : into:t -> t -> unit
+(** Fold [src] into [into], registering missing instruments: counters
+    and histogram counts/sums/buckets add, gauges and histogram maxima
+    take the max (a merged gauge's value {e is} its high-water mark).
+    Commutative and associative, so merging per-job registries in
+    completion order is deterministic whatever the domain count. *)
 
 val to_json : t -> string
 (** Dependency-free JSON, keys sorted — byte-stable for a given set of

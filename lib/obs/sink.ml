@@ -10,6 +10,7 @@ type t = {
   m_partitions : Metrics.counter;
   m_faults : Metrics.counter;
   m_halts : Metrics.counter;
+  m_dropped : Metrics.counter;  (* mirror of the ring's drop count *)
   m_fu_ops : Metrics.counter array;
   m_fu_live : Metrics.counter array;
   g_streams : Metrics.gauge;
@@ -53,6 +54,7 @@ let create ?(ring_capacity = default_ring_capacity) ?(trace = true)
     m_partitions = Metrics.counter registry "partition_changes";
     m_faults = Metrics.counter registry "faults_fired";
     m_halts = Metrics.counter registry "halts";
+    m_dropped = Metrics.counter registry "events_dropped";
     m_fu_ops =
       Array.init n_fus (fun fu ->
         Metrics.counter registry (Printf.sprintf "fu%d/ops" fu));
@@ -206,7 +208,12 @@ let finish t ~cycle =
 
 let events t = Ring.to_list t.ring
 let dropped_events t = Ring.dropped t.ring
-let metrics t = t.registry
+
+(* The ring tracks its own drop count; mirror it into the registry on
+   read so [events_dropped] travels with every metrics export/merge. *)
+let metrics t =
+  Metrics.set_counter t.m_dropped (dropped_events t);
+  t.registry
 let profile t = t.prof
 let account t = t.acct
 let critpath t = t.crit
@@ -240,7 +247,7 @@ let metrics_json t =
            entries waited))
     (barrier_waits t);
   Buffer.add_string buf "],\"metrics\":";
-  Buffer.add_string buf (Metrics.to_json t.registry);
+  Buffer.add_string buf (Metrics.to_json (metrics t));
   Buffer.add_char buf '}';
   Buffer.contents buf
 

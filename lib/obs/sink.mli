@@ -121,6 +121,11 @@ val events : t -> Event.t list
     {!dropped_events}). *)
 
 val dropped_events : t -> int
+
+(** The registry, with the [events_dropped] counter synced from the
+    ring's drop-oldest count at each call — so exports and campaign
+    merges always carry the loss figure alongside the data it
+    qualifies. *)
 val metrics : t -> Metrics.t
 val profile : t -> Profile.t option
 val account : t -> Account.t option

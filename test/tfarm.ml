@@ -194,11 +194,11 @@ let test_pool_orders_and_drains () =
   let pool =
     F.Pool.create ~domains:4
       ~init:(fun _ -> ())
-      ~work:(fun () i ->
+      ~work:(fun () ~seq:_ i ->
         if i mod 5 = 2 then failwith "worker down";
         (i, `Done))
-      ~crashed:(fun i ~exn:_ ~backtrace:_ -> (i, `Crashed))
-      ~dropped:(fun i -> (i, `Dropped))
+      ~crashed:(fun ~seq:_ i ~exn:_ ~backtrace:_ -> (i, `Crashed))
+      ~dropped:(fun ~seq:_ i -> (i, `Dropped))
       ~emit:(fun r -> emitted := r :: !emitted)
       ()
   in
@@ -222,11 +222,11 @@ let test_pool_orders_and_drains () =
   let pool =
     F.Pool.create ~domains:1
       ~init:(fun _ -> ())
-      ~work:(fun () i ->
+      ~work:(fun () ~seq:_ i ->
         while not (Atomic.get gate) do Domain.cpu_relax () done;
         (i, `Done))
-      ~crashed:(fun i ~exn:_ ~backtrace:_ -> (i, `Crashed))
-      ~dropped:(fun i -> (i, `Dropped))
+      ~crashed:(fun ~seq:_ i ~exn:_ ~backtrace:_ -> (i, `Crashed))
+      ~dropped:(fun ~seq:_ i -> (i, `Dropped))
       ~emit:(fun r -> emitted := r :: !emitted)
       ()
   in

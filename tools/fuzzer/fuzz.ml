@@ -15,7 +15,10 @@ let usage =
   \  sweep   --seed S --count N [--domains D]       fuzz N cases on the\n\
   \          supervised run farm: D worker domains, crash-isolated (a\n\
   \          case that kills the checker is reported, not fatal), all\n\
-  \          divergences reported in deterministic index order\n\
+  \          divergences reported in deterministic index order;\n\
+  \          [--campaign-trace FILE] Chrome trace of the sweep,\n\
+  \          [--campaign-report FILE] ximd-campaign/1 rollup,\n\
+  \          [--progress-every N] ximd-progress/1 heartbeat to stderr\n\
   \  one     --seed S --index I [--dump]            check one case\n\
   \  shrink  --seed S --index I                     minimise a divergent case\n\
   \  save    --seed S --index I --name NAME [--dir DIR]\n\
@@ -160,15 +163,48 @@ let cmd_run args =
    no shrinking — use `fuzz shrink` on a reported index). *)
 let cmd_sweep args =
   let seed = ref 0 and count = ref 1000 and domains = ref 2 in
+  let trace_out = ref None
+  and report_out = ref None
+  and progress_every = ref 0 in
   let _ =
     parse_options
       [ ("--seed", `Int (( := ) seed));
         ("--count", `Int (( := ) count));
-        ("--domains", `Int (( := ) domains)) ]
+        ("--domains", `Int (( := ) domains));
+        ("--campaign-trace", `String (fun f -> trace_out := Some f));
+        ("--campaign-report", `String (fun f -> report_out := Some f));
+        ("--progress-every", `Int (( := ) progress_every)) ]
       args
   in
   if !domains < 1 then die "--domains must be at least 1";
   Printexc.record_backtrace true;
+  let obs =
+    if !trace_out <> None || !report_out <> None || !progress_every > 0 then
+      Some
+        (Ximd_obs.Farmobs.create ~progress_every:!progress_every
+           ~progress:prerr_endline ~clock:Unix.gettimeofday ())
+    else None
+  in
+  let complete ~seq label quality =
+    match obs with
+    | None -> ()
+    | Some o ->
+      Ximd_obs.Farmobs.on_complete o ~seq
+        ~id:(Printf.sprintf "case-%d" seq)
+        ~result:(Ximd_obs.Span.outcome ~label ~quality)
+        ~attempts:1 ()
+  in
+  let probe =
+    Option.map
+      (fun o ->
+        { Ximd_farm.Pool.p_enqueue =
+            (fun ~seq ~depth -> Ximd_obs.Farmobs.on_enqueue o ~seq ~depth);
+          p_dequeue =
+            (fun ~seq ~domain ~depth ->
+              Ximd_obs.Farmobs.on_dequeue o ~seq ~domain ~depth);
+          p_emit = (fun ~seq -> Ximd_obs.Farmobs.on_emit o ~seq) })
+      obs
+  in
   let divergences = ref 0 and crashes = ref 0 in
   let emit (index, verdict) =
     match verdict with
@@ -182,26 +218,46 @@ let cmd_sweep args =
   in
   let t0 = Unix.gettimeofday () in
   let pool =
-    Ximd_farm.Pool.create ~domains:!domains
+    Ximd_farm.Pool.create ~domains:!domains ?probe
       ~init:(fun _ -> ())
-      ~work:(fun () index ->
+      ~work:(fun () ~seq index ->
         let c = case_at ~seed:!seed ~index in
         match Gen.Diff.check_case c with
-        | Gen.Diff.Agree _ -> (index, `Agree)
+        | Gen.Diff.Agree _ ->
+          complete ~seq "agree" Ximd_obs.Span.Good;
+          (index, `Agree)
         | Gen.Diff.Diverge d ->
+          complete ~seq "diverge" Ximd_obs.Span.Bad;
           ( index,
             `Diverge
               (Printf.sprintf "(%s, model %s)\n%s" (describe_config c)
                  (Gen.Diff.model_name d.model)
                  (Gen.Diff.divergence_to_string d)) ))
-      ~crashed:(fun index ~exn ~backtrace:_ -> (index, `Crash exn))
-      ~dropped:(fun index -> (index, `Crash "dropped before run"))
+      ~crashed:(fun ~seq index ~exn ~backtrace:_ ->
+        complete ~seq "crash" Ximd_obs.Span.Bad;
+        (index, `Crash exn))
+      ~dropped:(fun ~seq index ->
+        complete ~seq "dropped" Ximd_obs.Span.Bad;
+        (index, `Crash "dropped before run"))
       ~emit ()
   in
   for index = 0 to !count - 1 do
     ignore (Ximd_farm.Pool.submit pool index)
   done;
   Ximd_farm.Pool.join pool;
+  (match obs with
+   | None -> ()
+   | Some o ->
+     Option.iter
+       (fun path ->
+         write_file path (Ximd_obs.Farmobs.chrome_json o);
+         Printf.eprintf "campaign trace written to %s\n%!" path)
+       !trace_out;
+     Option.iter
+       (fun path ->
+         write_file path (Ximd_obs.Farmobs.rollup_json o);
+         Printf.eprintf "campaign report written to %s\n%!" path)
+       !report_out);
   let dt = Unix.gettimeofday () -. t0 in
   Printf.printf
     "sweep: %d cases on %d domain%s, %d divergence%s, %d crash%s, seed %d, \
