@@ -181,6 +181,42 @@ let infra_tests () =
          | Ok _ -> ()
          | Error _ -> failwith "compile failed")) ]
 
+(* Compile-time cost of the xcc front end, with and without the
+   Schedobs collector attached.  The +sched rows compile with a
+   collector and force all three artifact renderings, so they bound
+   what `--explain --sched-json --sched-trace` adds end to end; the
+   plain rows pin the zero-overhead-when-off claim (budget: within the
+   regression gate of the committed baseline).  Paths are relative to
+   the repo root, where the harness runs. *)
+let xcc_sources = [ ("dot", "examples/xc/dot.xc"); ("gcd", "examples/xc/gcd.xc") ]
+
+let xcc_tests () =
+  let open Bechamel in
+  List.concat_map
+    (fun (name, path) ->
+      if not (Sys.file_exists path) then []
+      else begin
+        let source = In_channel.with_open_text path In_channel.input_all in
+        let compile_off () =
+          match C.Lang.compile ~width:4 source with
+          | Ok _ -> ()
+          | Error _ -> failwith ("xcc bench: " ^ name)
+        in
+        let compile_on () =
+          let obs = C.Schedobs.create ~clock:Unix.gettimeofday () in
+          match C.Lang.compile ~width:4 ~obs source with
+          | Ok _ ->
+            ignore (C.Schedobs.to_json obs);
+            ignore (C.Schedobs.to_chrome obs);
+            ignore (Format.asprintf "%a" C.Schedobs.pp_explain obs)
+          | Error _ -> failwith ("xcc bench: " ^ name)
+        in
+        [ Test.make ~name:("xcc/" ^ name) (Staged.stage compile_off);
+          Test.make ~name:("xcc/" ^ name ^ "+sched")
+            (Staged.stage compile_on) ]
+      end)
+    xcc_sources
+
 (* Measures [tests] and returns [(name, ns_per_run)] rows sorted by
    name.  The group prefix Bechamel adds is stripped back off. *)
 let measure_tests tests =
@@ -221,7 +257,7 @@ let run_micro ?(filter = []) () =
     @ session_tests ~filter ()
     @ obs_tests ~filter ()
     @ why_tests ~filter ()
-    @ (if filter = [] then infra_tests () else [])
+    @ (if filter = [] then infra_tests () @ xcc_tests () else [])
   in
   List.iter
     (fun (name, est) -> Printf.printf "%-28s %14.0f ns/run\n%!" name est)
@@ -342,6 +378,11 @@ let run_json ?(filter = []) () =
       (workload_tests ~filter () @ session_tests ~filter ()
        @ why_tests ~filter ())
   in
+  (* Compile-time rows: only for the full (unfiltered) run, since the
+     filter vocabulary is workload names. *)
+  let compiler_estimates =
+    if filter = [] then measure_tests (xcc_tests ()) else []
+  in
   let oc = open_out bench_json_file in
   let first = ref true in
   Printf.fprintf oc "{\n";
@@ -361,6 +402,29 @@ let run_json ?(filter = []) () =
           name workload simulator cycles ns_per_run cycles_per_sec;
         first := false)
     cycle_counts;
+  Printf.fprintf oc "\n  ],\n";
+  (* Compiler rows: per source, trace-off ns/run next to the +sched
+     row, with the overhead ratio pinned so the regression gate can
+     hold the trace-off path to the baseline. *)
+  Printf.fprintf oc "  \"compiler\": [";
+  let first = ref true in
+  List.iter
+    (fun (kernel, _path) ->
+      let plain = List.assoc_opt ("xcc/" ^ kernel) compiler_estimates in
+      let sched =
+        List.assoc_opt ("xcc/" ^ kernel ^ "+sched") compiler_estimates
+      in
+      match (plain, sched) with
+      | Some p, Some s ->
+        Printf.fprintf oc "%s\n    { \"name\": \"xcc/%s\", \
+                           \"ns_per_run\": %.1f },\n    { \"name\": \
+                           \"xcc/%s+sched\", \"ns_per_run\": %.1f, \
+                           \"overhead\": %.2f }"
+          (if !first then "" else ",")
+          kernel p kernel s (s /. p);
+        first := false
+      | _ -> ())
+    xcc_sources;
   Printf.fprintf oc "\n  ],\n";
   (* Farm rows only make sense when minmax (the campaign workload) is
      in the selection. *)
@@ -385,7 +449,11 @@ let run_json ?(filter = []) () =
   Printf.fprintf oc "\n  ]\n}\n";
   close_out oc;
   Printf.printf "wrote %s (%d entries)\n%!" bench_json_file
-    (List.length cycle_counts + List.length farm);
+    (List.length cycle_counts + List.length farm
+     + List.length compiler_estimates);
+  List.iter
+    (fun (name, ns) -> Printf.printf "%-28s %14.0f ns/run\n%!" name ns)
+    compiler_estimates;
   List.iter
     (fun (name, _domains, jobs, jobs_per_sec, overhead) ->
       let overhead_note =

@@ -1,4 +1,6 @@
-(* Shared plumbing for the xsim/vsim command-line simulators. *)
+(* Shared plumbing for the command-line tools: the xsim/vsim simulators
+   use the full run pipeline; xcc reuses [exits] (the canonical
+   Run.exit_codes table rendered for cmdliner) and [write_output]. *)
 
 open Cmdliner
 open Ximd_isa

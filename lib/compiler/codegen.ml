@@ -103,9 +103,13 @@ let emit_scheduled ~latency builder reg_of (block : Ir.block)
       (List.map (fun i -> B.d (data_of_op reg_of ops.(i))) row_ops)
   done
 
-let emit_block ?(latency = 1) builder reg_of ~width (block : Ir.block) =
+let emit_block ?(latency = 1) ?obs builder reg_of ~width (block : Ir.block) =
   let ops = Array.of_list block.body in
   let sched = Listsched.schedule ~latency ~width ops in
+  (match obs with
+   | None -> ()
+   | Some t ->
+     Schedobs.record_block t ~label:block.label ~latency ~width ~ops sched);
   emit_scheduled ~latency builder reg_of block sched ops
 
 let block_rows ?(latency = 1) ~width (block : Ir.block) =
@@ -113,20 +117,58 @@ let block_rows ?(latency = 1) ~width (block : Ir.block) =
   let sched = Listsched.schedule ~latency ~width ops in
   required_rows ~latency sched ops block.term
 
-let compile ?(width = 8) ?latency ?reg_base (func : Ir.func) =
+(* Single-block while-loop bodies: a block whose terminator jumps to a
+   head block whose branch re-enters it.  Exactly the shape the
+   modulo-scheduling analysis (Pipeliner) understands; join blocks are
+   never branch targets of such a head, so there are no false
+   positives. *)
+let loop_bodies (func : Ir.func) =
+  List.filter
+    (fun (b : Ir.block) ->
+      b.body <> []
+      &&
+      match b.term with
+      | Ir.Jump h -> (
+        match Ir.block_named func h with
+        | Some { term = Ir.Branch (_, t1, t2); _ } ->
+          t1 = b.label || t2 = b.label
+        | Some _ | None -> false)
+      | Ir.Branch _ | Ir.Return -> false)
+    func.blocks
+
+let compile ?(width = 8) ?latency ?reg_base ?obs (func : Ir.func) =
   if width < 1 || width > 16 then Error [ "Codegen.compile: bad width" ]
-  else
-    match Ir.validate func with
+  else begin
+    (match obs with None -> () | Some t -> Schedobs.set_source t func.name);
+    match Schedobs.pass obs "validate" (fun () -> Ir.validate func) with
     | Error errors -> Error errors
     | Ok () -> (
-      match Regalloc.trivial ?reg_base func with
+      match
+        Schedobs.pass obs "regalloc" (fun () -> Regalloc.trivial ?reg_base func)
+      with
       | Error msg -> Error [ "register allocation: " ^ msg ]
       | Ok assignment ->
         let builder = B.create ~n_fus:width in
-        List.iter
-          (fun (block : Ir.block) ->
-            emit_block ?latency builder assignment.reg_of ~width block)
-          func.blocks;
+        Schedobs.pass obs "schedule+emit" (fun () ->
+          List.iter
+            (fun (block : Ir.block) ->
+              emit_block ?latency ?obs builder assignment.reg_of ~width block)
+            func.blocks);
+        (* Modulo-scheduling bound accounting for every while-loop body:
+           analysis only (the emitted code is the blockwise schedule);
+           reports ResMII/RecMII/achieved II per loop. *)
+        (match obs with
+         | None -> ()
+         | Some t ->
+           Schedobs.pass obs "loop-bounds" (fun () ->
+             List.iter
+               (fun (b : Ir.block) ->
+                 ignore
+                   (Pipeliner.schedule ~obs:t
+                      ~label:(func.name ^ "/" ^ b.label)
+                      ~width
+                      (Array.of_list b.body)))
+               (loop_bodies func)));
         let program = B.build builder in
         Ok
           { program;
@@ -137,3 +179,4 @@ let compile ?(width = 8) ?latency ?reg_base (func : Ir.func) =
               List.map (fun v -> (v, assignment.reg_of v)) func.results;
             static_rows = Ximd_core.Program.length program;
             used_regs = assignment.used })
+  end

@@ -27,7 +27,8 @@ type compiled = {
 }
 
 val compile :
-  ?width:int -> ?latency:int -> ?reg_base:int -> Ir.func ->
+  ?width:int -> ?latency:int -> ?reg_base:int -> ?obs:Schedobs.t ->
+  Ir.func ->
   (compiled, string list) result
 (** [width] defaults to 8 and must be within [1, n_fus] of the intended
     configuration; the emitted program has exactly [width] FU columns.
@@ -37,13 +38,15 @@ val compile :
     take that many cycles to become visible — pass the configuration's
     [result_latency] when targeting the §4.3 pipelined prototype; the
     control path (compare-to-branch distance) stays single-cycle either
-    way. *)
+    way.  [obs] records pass timings, per-block placement provenance,
+    and — for every single-block while-loop body ({!loop_bodies}) —
+    modulo-scheduling bound accounting via {!Pipeliner}. *)
 
 val data_of_op : (Ir.vreg -> Reg.t) -> Ir.op -> Parcel.data
 (** Lower one IR operation to a parcel data operation. *)
 
 val emit_block :
-  ?latency:int ->
+  ?latency:int -> ?obs:Schedobs.t ->
   Ximd_asm.Builder.t -> (Ir.vreg -> Reg.t) -> width:int -> Ir.block -> unit
 (** Schedule and emit one block into an existing builder (labels the
     block with its IR label).  Used by the trace scheduler for off-trace
@@ -52,3 +55,8 @@ val emit_block :
 val block_rows : ?latency:int -> width:int -> Ir.block -> int
 (** Rows {!emit_block} would emit for the block (schedule length plus
     any terminator padding) without emitting anything. *)
+
+val loop_bodies : Ir.func -> Ir.block list
+(** The non-empty single-block while-loop bodies of [func]: blocks
+    whose terminator jumps to a head whose conditional branch re-enters
+    them — the shape {!Pipeliner} analyses. *)

@@ -43,4 +43,9 @@ val critical_path : t -> int
 (** Longest path through the graph — a lower bound on schedule rows
     minus one. *)
 
+val kind_name : kind -> string
+(** Canonical short name ("flow", "anti", "out", "mem") — shared by
+    {!pp} and the {!Schedobs} exporters so every artifact spells edge
+    kinds the same way. *)
+
 val pp : Format.formatter -> t -> unit

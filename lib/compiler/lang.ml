@@ -454,7 +454,28 @@ let parse source =
   | func -> Ok func
   | exception Fail e -> Error e
 
-let compile ?width source =
-  match parse source with
+(* Observed parse: same stages as [parse], each under a pass timer so
+   the Chrome trace shows where frontend time goes. *)
+let parse_observed obs source =
+  match
+    let tokens = Schedobs.pass obs "lex" (fun () -> lex source) in
+    let ps = { toks = tokens } in
+    let ast = Schedobs.pass obs "parse" (fun () -> parse_func ps) in
+    let func = Schedobs.pass obs "lower" (fun () -> lower ast) in
+    Schedobs.pass obs "validate-ir" (fun () ->
+      match Ir.validate func with
+      | Ok () -> ()
+      | Error errors ->
+        fail 0 "lowering produced invalid IR: %s" (String.concat "; " errors));
+    func
+  with
+  | func -> Ok func
+  | exception Fail e -> Error e
+
+let compile ?width ?obs source =
+  let parsed =
+    match obs with None -> parse source | Some _ -> parse_observed obs source
+  in
+  match parsed with
   | Error e -> Error [ Format.asprintf "%a" pp_error e ]
-  | Ok func -> Codegen.compile ?width func
+  | Ok func -> Codegen.compile ?width ?obs func

@@ -41,5 +41,9 @@ val pp_error : Format.formatter -> error -> unit
 val parse : string -> (Ir.func, error) result
 
 val compile :
-  ?width:int -> string -> (Codegen.compiled, string list) result
-(** [parse] then {!Codegen.compile}. *)
+  ?width:int -> ?obs:Schedobs.t -> string ->
+  (Codegen.compiled, string list) result
+(** [parse] then {!Codegen.compile}.  With [obs], frontend stages (lex,
+    parse, lower, validate-ir) are individually pass-timed and the
+    backend records schedules, loop bounds, and provenance; the
+    generated program is bit-identical with or without [obs]. *)

@@ -103,11 +103,13 @@ let combo_count choices =
 (* ------------------------------------------------------------------ *)
 (* Static code density (Figure 13's objective)                         *)
 
-let pack_density ?(n_fus = 8) ?(exhaustive_limit = 20_000) choices =
+let pack_density ?(n_fus = 8) ?(exhaustive_limit = 20_000) ?obs choices =
   match check_choices n_fus choices with
   | Error _ as e -> e
   | Ok () ->
     let lower_bound = area_lower_bound n_fus choices in
+    let combos = combo_count choices in
+    let exhaustive = combos <= exhaustive_limit in
     let best = ref None in
     let consider tiles =
       let placements, height = pack_fixed n_fus tiles in
@@ -115,7 +117,7 @@ let pack_density ?(n_fus = 8) ?(exhaustive_limit = 20_000) choices =
       | Some (_, h) when h <= height -> ()
       | Some _ | None -> best := Some (placements, height)
     in
-    if combo_count choices <= exhaustive_limit then
+    if exhaustive then
       each_combo choices [] consider
     else begin
       (* Heuristic menu choice: smallest area, ties to the shorter. *)
@@ -143,6 +145,29 @@ let pack_density ?(n_fus = 8) ?(exhaustive_limit = 20_000) choices =
     (match !best with
      | None -> Error "packing produced no result"
      | Some (placements, height) ->
+       (match obs with
+        | None -> ()
+        | Some t ->
+          (* Rationale: the skyline fixes each tile's y (its support
+             height at placement time); y = 0 means the columns were
+             still free. *)
+          Schedobs.record_pack t ~objective:"density" ~n_fus ~combos
+            ~exhaustive ~height ~lower_bound
+            ~placements:
+              (List.mapi
+                 (fun order p ->
+                   { Schedobs.p_thread = p.thread;
+                     p_order = order;
+                     p_width = p.tile.Tile.width;
+                     p_length = p.tile.Tile.length;
+                     p_x = p.x;
+                     p_y = p.y;
+                     p_menu =
+                       (match List.assoc_opt p.thread choices with
+                        | Some menu -> List.length menu
+                        | None -> 0);
+                     p_bound = (if p.y = 0 then "free" else "skyline") })
+                 placements));
        Ok { placements; n_fus; height; lower_bound })
 
 (* ------------------------------------------------------------------ *)
@@ -184,7 +209,7 @@ let toposort names deps =
   in
   loop []
 
-let pack_time ?(n_fus = 8) ~deps choices =
+let pack_time ?(n_fus = 8) ?obs ~deps choices =
   match check_choices n_fus choices with
   | Error _ as e -> e
   | Ok () ->
@@ -226,20 +251,24 @@ let pack_time ?(n_fus = 8) ~deps choices =
          in
          let col_free = Array.make n_fus 0 in
          let finish = Hashtbl.create 17 in
+         let rationale = ref [] in
          let placements =
            List.map
              (fun thread ->
                let tile = List.assoc thread tile_of in
-               let dep_ready =
+               let dep_ready, dep_binder =
                  List.fold_left
-                   (fun acc (before, after) ->
-                     if after = thread then
-                       max acc
-                         (match Hashtbl.find_opt finish before with
-                          | Some f -> f
-                          | None -> 0)
-                     else acc)
-                   0 deps
+                   (fun (acc, binder) (before, after) ->
+                     if after = thread then begin
+                       let f =
+                         match Hashtbl.find_opt finish before with
+                         | Some f -> f
+                         | None -> 0
+                       in
+                       if f > acc then (f, Some before) else (acc, binder)
+                     end
+                     else (acc, binder))
+                   (0, None) deps
                in
                (* Find the column window that can start earliest. *)
                let best_x = ref 0 and best_start = ref max_int in
@@ -254,6 +283,16 @@ let pack_time ?(n_fus = 8) ~deps choices =
                  end
                done;
                let start = !best_start and x = !best_x in
+               (* What fixed the start cycle: nothing, the slowest
+                  dependence predecessor, or column occupancy. *)
+               let bound =
+                 if start = 0 then "free"
+                 else
+                   match dep_binder with
+                   | Some before when start = dep_ready -> "dep:" ^ before
+                   | Some _ | None -> "columns"
+               in
+               rationale := (thread, tile, x, start, bound) :: !rationale;
                for c = x to x + tile.width - 1 do
                  col_free.(c) <- start + tile.length
                done;
@@ -282,6 +321,26 @@ let pack_time ?(n_fus = 8) ~deps choices =
          in
          let critical = List.fold_left (fun acc n -> max acc (cp n)) 0 names in
          let lower_bound = max (area_lower_bound n_fus choices) critical in
+         (match obs with
+          | None -> ()
+          | Some t ->
+            Schedobs.record_pack t ~objective:"time" ~n_fus ~combos:1
+              ~exhaustive:false ~height ~lower_bound
+              ~placements:
+                (List.mapi
+                   (fun order (thread, (tile : Tile.t), x, y, bound) ->
+                     { Schedobs.p_thread = thread;
+                       p_order = order;
+                       p_width = tile.width;
+                       p_length = tile.length;
+                       p_x = x;
+                       p_y = y;
+                       p_menu =
+                         (match List.assoc_opt thread choices with
+                          | Some menu -> List.length menu
+                          | None -> 0);
+                       p_bound = bound })
+                   (List.rev !rationale)));
          Ok { placements; n_fus; height; lower_bound }))
 
 (* ------------------------------------------------------------------ *)

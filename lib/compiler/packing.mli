@@ -36,20 +36,24 @@ type packing = {
 }
 
 val pack_density :
-  ?n_fus:int -> ?exhaustive_limit:int ->
+  ?n_fus:int -> ?exhaustive_limit:int -> ?obs:Schedobs.t ->
   (string * Tile.t list) list ->
   (packing, string) result
 (** [choices] maps each thread to its (non-empty) tile menu.
     [exhaustive_limit] (default 20_000) caps the number of tile-choice
     combinations tried exhaustively; above it a min-area heuristic picks
-    the tiles. *)
+    the tiles.  [obs] records the partition-assignment rationale (per
+    placement: what fixed its address — free columns or the skyline). *)
 
 val pack_time :
-  ?n_fus:int ->
+  ?n_fus:int -> ?obs:Schedobs.t ->
   deps:(string * string) list ->
   (string * Tile.t list) list ->
   (packing, string) result
-(** [deps] lists (before, after) thread pairs; the DAG must be acyclic. *)
+(** [deps] lists (before, after) thread pairs; the DAG must be acyclic.
+    [obs] records per-thread start-cycle rationale: "free",
+    "dep:<thread>" (the slowest dependence predecessor bound it), or
+    "columns" (FU occupancy bound it). *)
 
 val render : packing -> string
 (** ASCII diagram of the strip: one character column per FU, one row per

@@ -3,6 +3,7 @@ type t = {
   times : int array;
   stages : int;
   res_mii : int;
+  rec_mii : int;
   width : int;
 }
 
@@ -11,6 +12,7 @@ type mod_edge = {
   dst : int;
   latency : int;
   distance : int;  (* iterations *)
+  kind : Ddg.kind;
 }
 
 (* Intra-iteration edges (distance 0) from the block DDG, plus
@@ -22,7 +24,8 @@ let mod_edges ops =
   let intra =
     List.map
       (fun (e : Ddg.edge) ->
-        { src = e.src; dst = e.dst; latency = e.latency; distance = 0 })
+        { src = e.src; dst = e.dst; latency = e.latency; distance = 0;
+          kind = e.kind })
       (Ddg.edges g)
   in
   let last_def v =
@@ -45,7 +48,8 @@ let mod_edges ops =
         if not defined_before then
           match last_def v with
           | Some i ->
-            carried := { src = i; dst = j; latency = 1; distance = 1 }
+            carried := { src = i; dst = j; latency = 1; distance = 1;
+                         kind = Ddg.Flow }
                        :: !carried
           | None -> ())
       (Ir.uses ops.(j))
@@ -57,7 +61,9 @@ let mod_edges ops =
     for j = 0 to n - 1 do
       match (Ir.defs ops.(i), Ir.defs ops.(j)) with
       | Some a, Some b when a = b && j <= i ->
-        carried := { src = i; dst = j; latency = 1; distance = 1 } :: !carried
+        carried := { src = i; dst = j; latency = 1; distance = 1;
+                     kind = Ddg.Output }
+                   :: !carried
       | _ -> ()
     done
   done;
@@ -80,11 +86,138 @@ let mod_edges ops =
       then
         carried :=
           { src = i; dst = j; latency = (if is_store ops.(i) then 1 else 0);
-            distance = 1 }
+            distance = 1; kind = Ddg.Mem }
           :: !carried
     done
   done;
   intra @ List.rev !carried
+
+(* ------------------------------------------------------------------ *)
+(* Lower bounds                                                        *)
+
+(* Resource classes of the XIMD-1 datapath: every FU is universal, so
+   all operations compete for row slots; memory operations are reported
+   as their own class so configurations with dedicated memory ports
+   (ROADMAP item 5) drop into the same accounting. *)
+let res_classes ~width ops =
+  let n = Array.length ops in
+  let is_mem = function
+    | Ir.Load _ | Ir.Store _ -> true
+    | Ir.Bin _ | Ir.Un _ | Ir.Cmp _ -> false
+  in
+  let mem = Array.fold_left (fun a op -> if is_mem op then a + 1 else a) 0 ops in
+  let mii c = if c = 0 then 0 else (c + width - 1) / width in
+  [ { Schedobs.cls = "slots"; cls_ops = n; cap = width; cls_mii = mii n };
+    { Schedobs.cls = "mem"; cls_ops = mem; cap = width; cls_mii = mii mem } ]
+
+(* An II is recurrence-feasible iff the dependence graph weighted
+   [latency - II * distance] has no strictly positive cycle (then every
+   circuit C satisfies II >= ceil(latency(C) / distance(C))).  Detection
+   is longest-path Bellman-Ford: relax all edges n times, then any edge
+   that still relaxes witnesses a positive cycle, recovered by walking
+   predecessor edges until a node repeats. *)
+let positive_cycle n edges ii =
+  if n = 0 then None
+  else begin
+    let dist = Array.make n 0 in
+    let pred = Array.make n None in
+    let relax e =
+      let w = e.latency - (ii * e.distance) in
+      if dist.(e.src) + w > dist.(e.dst) then begin
+        dist.(e.dst) <- dist.(e.src) + w;
+        pred.(e.dst) <- Some e;
+        true
+      end
+      else false
+    in
+    for _ = 1 to n do
+      List.iter (fun e -> ignore (relax e)) edges
+    done;
+    let witness =
+      List.fold_left
+        (fun acc e ->
+          match acc with Some _ -> acc | None -> if relax e then Some e.dst else None)
+        None edges
+    in
+    match witness with
+    | None -> None
+    | Some v ->
+      (* Walk predecessor edges from the witness until a node repeats;
+         the repeated node is on the cycle. *)
+      let seen = Array.make n false in
+      let rec find_entry node steps =
+        if steps > n then None
+        else if seen.(node) then Some node
+        else begin
+          seen.(node) <- true;
+          match pred.(node) with
+          | None -> None
+          | Some e -> find_entry e.src (steps + 1)
+        end
+      in
+      (match find_entry v 0 with
+       | None -> None
+       | Some entry ->
+         let rec collect node acc =
+           match pred.(node) with
+           | None -> acc  (* unreachable for a cycle node *)
+           | Some e ->
+             let acc = e :: acc in
+             if e.src = entry then acc else collect e.src acc
+         in
+         Some (collect entry []))
+  end
+
+let circuit_of_edges = function
+  | None | Some [] -> None
+  | Some (first :: _ as cycle) ->
+    Some
+      { Schedobs.c_ops =
+          first.src :: List.filter_map
+                         (fun e -> if e.dst = first.src then None else Some e.dst)
+                         cycle;
+        c_latency = List.fold_left (fun a e -> a + e.latency) 0 cycle;
+        c_distance = List.fold_left (fun a e -> a + e.distance) 0 cycle }
+
+let rec_bound n edges =
+  (* All cycles carry distance >= 1 (intra edges go forward in program
+     order), so II = total latency + 1 is always feasible: the search
+     below terminates. *)
+  let max_ii =
+    1 + List.fold_left (fun a e -> a + max 0 e.latency) 0 edges
+  in
+  let rec find ii =
+    if ii >= max_ii then ii
+    else if positive_cycle n edges ii = None then ii
+    else find (ii + 1)
+  in
+  let rec_mii = find 1 in
+  (* The binding circuit: any positive cycle at II - 1.  By maximality
+     its latency/distance ratio rounds up to exactly rec_mii. *)
+  let circuit =
+    if rec_mii > 1 then circuit_of_edges (positive_cycle n edges (rec_mii - 1))
+    else None
+  in
+  (rec_mii, circuit)
+
+let bounds_of ~width ops edges =
+  let n = Array.length ops in
+  let classes = res_classes ~width ops in
+  let res_mii =
+    List.fold_left (fun a (c : Schedobs.res_class) -> max a c.cls_mii) 0
+      classes
+  in
+  let rec_mii, circuit = rec_bound n edges in
+  { Schedobs.res_classes = classes; res_mii; rec_mii; circuit }
+
+let bounds ~width ops = bounds_of ~width ops (mod_edges ops)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling                                                          *)
+
+type fail =
+  | Unplaced of int          (* op with no feasible slot at this II *)
+  | Violated of mod_edge     (* post-validation caught this edge *)
 
 let try_ii ~width ~edges ~priority n ii =
   let times = Array.make n (-1) in
@@ -94,10 +227,10 @@ let try_ii ~width ~edges ~priority n ii =
       (fun a b -> compare priority.(b) priority.(a))
       (List.init n Fun.id)
   in
-  let ok = ref true in
+  let failure = ref None in
   List.iter
     (fun i ->
-      if !ok then begin
+      if !failure = None then begin
         let earliest = ref 0 in
         List.iter
           (fun e ->
@@ -121,22 +254,32 @@ let try_ii ~width ~edges ~priority n ii =
             incr tries
           end
         done;
-        if not !placed then ok := false
+        if not !placed then failure := Some (Unplaced i)
       end)
     order;
-  if not !ok then None
-  else begin
+  match !failure with
+  | Some f -> Error f
+  | None -> (
     (* Greedy placement without ejection can violate edges into
        already-scheduled ops; validate before accepting. *)
-    let valid =
-      List.for_all
-        (fun e -> times.(e.dst) >= times.(e.src) + e.latency - (ii * e.distance))
+    let bad =
+      List.find_opt
+        (fun e -> times.(e.dst) < times.(e.src) + e.latency - (ii * e.distance))
         edges
     in
-    if valid then Some times else None
-  end
+    match bad with
+    | Some e -> Error (Violated e)
+    | None -> Ok times)
 
-let schedule ~width ops =
+let obs_edge (e : mod_edge) =
+  { Schedobs.e_src = e.src; e_dst = e.dst; e_kind = e.kind;
+    e_latency = e.latency; e_distance = e.distance }
+
+let obs_fail = function
+  | Unplaced i -> Schedobs.Unplaced i
+  | Violated e -> Schedobs.Violated (obs_edge e)
+
+let schedule ?obs ?(label = "loop") ~width ops =
   let n = Array.length ops in
   if n = 0 then Error "empty loop body"
   else if width < 1 then Error "width < 1"
@@ -145,18 +288,45 @@ let schedule ~width ops =
     let g = Ddg.build ops in
     let priority = Ddg.heights g in
     let res_mii = (n + width - 1) / width in
+    let bnds = bounds_of ~width ops edges in
     let max_ii = (2 * n) + 4 in
-    let rec search ii =
+    let stamp () = match obs with Some o -> Schedobs.now o | None -> 0.0 in
+    let rec search attempts ii =
       if ii > max_ii then Error "no feasible initiation interval found"
-      else
+      else begin
+        let t0 = stamp () in
         match try_ii ~width ~edges ~priority n ii with
-        | Some times ->
+        | Ok times ->
           let horizon = Array.fold_left max 0 times in
+          let stages = (horizon / ii) + 1 in
+          (match obs with
+           | None -> ()
+           | Some o ->
+             let attempts =
+               List.rev
+                 ({ Schedobs.a_ii = ii; a_outcome = Schedobs.Placed;
+                    a_t0 = t0; a_t1 = stamp () }
+                  :: attempts)
+             in
+             Schedobs.record_loop o ~label ~width ~ops
+               ~edges:(List.map obs_edge edges) ~bounds:bnds ~attempts ~ii
+               ~stages ~times);
           Ok
-            { ii; times; stages = (horizon / ii) + 1; res_mii; width }
-        | None -> search (ii + 1)
+            { ii; times; stages; res_mii;
+              rec_mii = bnds.Schedobs.rec_mii; width }
+        | Error f ->
+          let attempts =
+            match obs with
+            | None -> attempts
+            | Some _ ->
+              { Schedobs.a_ii = ii; a_outcome = obs_fail f; a_t0 = t0;
+                a_t1 = stamp () }
+              :: attempts
+          in
+          search attempts (ii + 1)
+      end
     in
-    search (max res_mii 1)
+    search [] (max res_mii 1)
   end
 
 let verify ~width ops t =

@@ -6,8 +6,9 @@
     Software Pipelining" (§4.2).  This module implements the scheduling
     half of iterative modulo scheduling for a single-block loop body:
     it derives loop-carried dependences from the body's def/use pattern,
-    computes the resource minimum initiation interval, and searches for
-    the smallest initiation interval II admitting a modulo schedule.
+    computes the resource and recurrence minimum initiation intervals,
+    and searches for the smallest initiation interval II admitting a
+    modulo schedule.
 
     Simplifications versus Rau's full IMS (documented in DESIGN.md): no
     operation ejection/backtracking — if the greedy placement fails at a
@@ -18,19 +19,37 @@
     Loop-carried dependences: a use of [v] at body position [j] with no
     prior definition of [v] at positions [< j] reads the value produced
     by [v]'s (last) definition in the {e previous} iteration — a flow
-    edge with iteration distance 1. *)
+    edge with iteration distance 1.
+
+    Bound accounting ({!bounds}): ResMII is reported per resource class
+    (row slots, memory slots) and RecMII per recurrence circuit — the
+    smallest II under which the dependence graph weighted
+    [latency - II * distance] has no strictly positive cycle, with a
+    witness circuit recovered for the [xcc --explain] report.  Passing
+    [?obs] records every II the search attempts (with its failure
+    reason) and the final loop report into a {!Schedobs} collector. *)
 
 type t = {
   ii : int;               (** achieved initiation interval *)
   times : int array;      (** op index -> issue time (flat schedule) *)
   stages : int;           (** pipeline depth in stages of II cycles *)
   res_mii : int;          (** resource-constrained lower bound *)
+  rec_mii : int;          (** recurrence-constrained lower bound *)
   width : int;
 }
 
-val schedule : width:int -> Ir.op array -> (t, string) result
+val bounds : width:int -> Ir.op array -> Schedobs.bounds
+(** Lower-bound accounting alone, without scheduling: ResMII per
+    resource class, RecMII with a binding recurrence circuit when one
+    exists ([rec_mii > 1]). *)
+
+val schedule :
+  ?obs:Schedobs.t -> ?label:string -> width:int -> Ir.op array ->
+  (t, string) result
 (** Fails on an empty body or if no II up to [length body * 2 + 4]
-    admits a schedule (which cannot happen for DAG-consistent bodies). *)
+    admits a schedule (which cannot happen for DAG-consistent bodies).
+    [label] (default ["loop"]) names the loop in observability
+    reports. *)
 
 val verify : width:int -> Ir.op array -> t -> (unit, string) result
 (** Independent validation: every intra- and inter-iteration dependence

@@ -326,30 +326,40 @@ let emit_region builder reg_of nodes rows =
       B.row builder ~ctl specs)
     rows
 
-let compile ?(width = 8) ?(prob = []) (func : Ir.func) =
-  match Ir.validate func with
+let compile ?(width = 8) ?(prob = []) ?obs (func : Ir.func) =
+  (match obs with None -> () | Some t -> Schedobs.set_source t func.name);
+  match Schedobs.pass obs "validate" (fun () -> Ir.validate func) with
   | Error errors -> Error errors
   | Ok () -> (
-    match Regalloc.trivial func with
+    match Schedobs.pass obs "regalloc" (fun () -> Regalloc.trivial func) with
     | Error msg -> Error [ "register allocation: " ^ msg ]
     | Ok assignment -> (
-      let trace = select_trace ~prob func in
+      let trace =
+        Schedobs.pass obs "trace-select" (fun () -> select_trace ~prob func)
+      in
       match trace with
       | [] -> Error [ "empty function" ]
       | head :: _ -> (
-        match build_region func trace ~prob with
+        match
+          Schedobs.pass obs "region-build" (fun () ->
+            build_region func trace ~prob)
+        with
         | exception Invalid_argument msg -> Error [ msg ]
         | nodes, edges ->
-          let rows, _ = schedule_region nodes edges ~width in
+          let rows, _ =
+            Schedobs.pass obs "region-schedule" (fun () ->
+              schedule_region nodes edges ~width)
+          in
           let builder = B.create ~n_fus:width in
           B.label builder head;
-          emit_region builder assignment.reg_of nodes rows;
-          (* Off-trace blocks, block at a time. *)
-          List.iter
-            (fun (b : Ir.block) ->
-              if not (List.mem b.label trace) then
-                Codegen.emit_block builder assignment.reg_of ~width b)
-            func.blocks;
+          Schedobs.pass obs "emit" (fun () ->
+            emit_region builder assignment.reg_of nodes rows;
+            (* Off-trace blocks, block at a time. *)
+            List.iter
+              (fun (b : Ir.block) ->
+                if not (List.mem b.label trace) then
+                  Codegen.emit_block ?obs builder assignment.reg_of ~width b)
+              func.blocks);
           let program = B.build builder in
           let blockwise_rows =
             List.fold_left

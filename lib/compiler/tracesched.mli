@@ -40,5 +40,8 @@ val select_trace : ?prob:(string * float) list -> Ir.func -> string list
 val compile :
   ?width:int ->
   ?prob:(string * float) list ->
+  ?obs:Schedobs.t ->
   Ir.func ->
   (result, string list) Stdlib.result
+(** [obs] pass-times trace selection, region build/schedule and
+    emission, and records block reports for the off-trace blocks. *)

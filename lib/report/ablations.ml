@@ -64,32 +64,14 @@ let a2_packing_heuristic fmt =
 (* ------------------------------------------------------------------ *)
 
 let a3_pipelining fmt =
-  header fmt "A3 — modulo scheduling: II vs width for three loop shapes";
-  let open Ximd_isa in
-  let bodies =
-    [ ( "dot product (acc += M[a+i]*M[b+i])",
-        [| C.Ir.Load (C.Ir.V 0, C.Ir.V 2, 10);
-           C.Ir.Load (C.Ir.V 1, C.Ir.V 2, 11);
-           C.Ir.Bin (Opcode.Imult, C.Ir.V 10, C.Ir.V 11, 12);
-           C.Ir.Bin (Opcode.Iadd, C.Ir.V 3, C.Ir.V 12, 3);
-           C.Ir.Bin (Opcode.Iadd, C.Ir.V 2, C.Ir.C 1l, 2) |] );
-      ( "first difference (x[i] = y[i+1]-y[i])",
-        [| C.Ir.Load (C.Ir.C 0x2001l, C.Ir.V 2, 10);
-           C.Ir.Bin (Opcode.Isub, C.Ir.V 10, C.Ir.V 11, 12);
-           C.Ir.Un (Opcode.Mov, C.Ir.V 10, 11);
-           C.Ir.Store (C.Ir.V 12, C.Ir.V 13);
-           C.Ir.Bin (Opcode.Iadd, C.Ir.V 13, C.Ir.C 1l, 13);
-           C.Ir.Bin (Opcode.Iadd, C.Ir.V 2, C.Ir.C 1l, 2) |] );
-      ( "recurrence (x = z*(y - x))",
-        [| C.Ir.Bin (Opcode.Isub, C.Ir.V 1, C.Ir.V 0, 2);
-           C.Ir.Bin (Opcode.Imult, C.Ir.V 3, C.Ir.V 2, 0) |] ) ]
-  in
-  Format.fprintf fmt "%-40s" "loop body \\ width";
+  header fmt "A3 — modulo scheduling: II vs width over the loop suite";
+  let bodies = Kernels.loop_bodies in
+  Format.fprintf fmt "%-44s" "loop body \\ width";
   List.iter (fun w -> Format.fprintf fmt "  w=%d" w) [ 1; 2; 4; 8 ];
   Format.fprintf fmt "@,";
   List.iter
     (fun (name, body) ->
-      Format.fprintf fmt "%-40s" name;
+      Format.fprintf fmt "%-44s" name;
       List.iter
         (fun width ->
           match C.Pipeliner.schedule ~width body with

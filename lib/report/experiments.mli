@@ -34,10 +34,16 @@ val e7 : Format.formatter -> unit
 (** Figure 13 + §4.2: tile menus for six threads, and the two packings
     (static code density and execution time) with their lower bounds. *)
 
+val sched : Format.formatter -> unit
+(** Scheduler-bounds accounting (ROADMAP item 4, first half): for every
+    loop body in {!Kernels.loop_bodies} at widths 2/4/8, the heuristic
+    II next to ResMII and RecMII, the gap, and the named binding
+    constraint ({!Ximd_compiler.Schedobs.binding_of}). *)
+
 val run_all : Format.formatter -> unit
 
 val known : (string * (Format.formatter -> unit)) list
-(** Experiment ids and their runners: f7, e1..e7, all. *)
+(** Experiment ids and their runners: f7, e1..e8, sched, all. *)
 
 val e8 : Format.formatter -> unit
 (** §3.3's generalised barriers: the PAIRSYNC workload, masked

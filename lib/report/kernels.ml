@@ -94,6 +94,49 @@ let chain =
 
 let all = [ saxpy_step; horner; fir4; addrgen; reduce8; chain ]
 
+(* Innermost-loop bodies for the modulo scheduler: one iteration each,
+   loop-carried dependences expressed by virtual-register reuse (the
+   induction variable and any accumulator) and by the scheduler's
+   conservative memory model.  Shared by the A3 ablation and the
+   `sched` bounds experiment. *)
+let loop_bodies =
+  [ ( "dot product (acc += M[a+i]*M[b+i])",
+      [| Ir.Load (Ir.V 0, Ir.V 2, 10);
+         Ir.Load (Ir.V 1, Ir.V 2, 11);
+         Ir.Bin (Op.Imult, Ir.V 10, Ir.V 11, 12);
+         Ir.Bin (Op.Iadd, Ir.V 3, Ir.V 12, 3);
+         Ir.Bin (Op.Iadd, Ir.V 2, Ir.C 1l, 2) |] );
+    ( "first difference (x[i] = y[i+1]-y[i])",
+      [| Ir.Load (Ir.C 0x2001l, Ir.V 2, 10);
+         Ir.Bin (Op.Isub, Ir.V 10, Ir.V 11, 12);
+         Ir.Un (Op.Mov, Ir.V 10, 11);
+         Ir.Store (Ir.V 12, Ir.V 13);
+         Ir.Bin (Op.Iadd, Ir.V 13, Ir.C 1l, 13);
+         Ir.Bin (Op.Iadd, Ir.V 2, Ir.C 1l, 2) |] );
+    ( "recurrence (x = z*(y - x))",
+      [| Ir.Bin (Op.Isub, Ir.V 1, Ir.V 0, 2);
+         Ir.Bin (Op.Imult, Ir.V 3, Ir.V 2, 0) |] );
+    ( "saxpy (y[i] += a*x[i])",
+      [| Ir.Load (Ir.V 0, Ir.V 2, 10);
+         Ir.Load (Ir.V 1, Ir.V 2, 11);
+         Ir.Bin (Op.Fmult, Ir.V 4, Ir.V 10, 12);
+         Ir.Bin (Op.Fadd, Ir.V 12, Ir.V 11, 13);
+         Ir.Store (Ir.V 13, Ir.V 2);
+         Ir.Bin (Op.Iadd, Ir.V 2, Ir.C 1l, 2) |] );
+    ( "3-point stencil (z[i] = a[i]+a[i+1]+a[i+2])",
+      [| Ir.Load (Ir.C 0x1000l, Ir.V 2, 10);
+         Ir.Load (Ir.C 0x1001l, Ir.V 2, 11);
+         Ir.Load (Ir.C 0x1002l, Ir.V 2, 12);
+         Ir.Bin (Op.Iadd, Ir.V 10, Ir.V 11, 13);
+         Ir.Bin (Op.Iadd, Ir.V 13, Ir.V 12, 14);
+         Ir.Store (Ir.V 14, Ir.V 2);
+         Ir.Bin (Op.Iadd, Ir.V 2, Ir.C 1l, 2) |] );
+    ( "histogram (M[b[i]] += 1)",
+      [| Ir.Load (Ir.V 0, Ir.V 1, 10);
+         Ir.Bin (Op.Iadd, Ir.V 10, Ir.C 1l, 11);
+         Ir.Store (Ir.V 11, Ir.V 1);
+         Ir.Bin (Op.Iadd, Ir.V 1, Ir.C 1l, 1) |] ) ]
+
 let menus ?(widths = [ 1; 2; 4; 8 ]) () =
   let rec loop acc = function
     | [] -> Ok (List.rev acc)

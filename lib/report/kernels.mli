@@ -9,6 +9,12 @@ val all : Ximd_compiler.Ir.func list
 (** Six validated single-entry functions, named t0..t5 style
     ("saxpy_step", "horner", "fir4", "addrgen", "reduce8", "chain"). *)
 
+val loop_bodies : (string * Ximd_compiler.Ir.op array) list
+(** Innermost-loop bodies (one iteration each) for the modulo
+    scheduler: loop-carried dependences via vreg reuse and the
+    conservative memory model.  Shared by the A3 ablation and the
+    [sched] bounds experiment. *)
+
 val menus :
   ?widths:int list ->
   unit ->
